@@ -1,0 +1,106 @@
+// Command simbench regenerates every table and figure of the paper's
+// evaluation section at laptop scale.
+//
+// Usage:
+//
+//	simbench                       # run everything at the default scale
+//	simbench -exp fig5,fig7        # run selected experiments
+//	simbench -scale smoke          # fast pass (seconds, coarser numbers)
+//	simbench -window 20000 -k 50   # override individual sizes
+//
+// Experiment IDs: table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12.
+// See DESIGN.md §5 for the mapping from each ID to the paper's artefact and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exps    = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		scale   = flag.String("scale", "default", "base scale: 'default' or 'smoke'")
+		users   = flag.Int("users", 0, "override user count |U|")
+		stream  = flag.Int("stream", 0, "override stream length")
+		window  = flag.Int("window", 0, "override window size N")
+		slide   = flag.Int("slide", 0, "override slide length L")
+		k       = flag.Int("k", 0, "override seed budget k")
+		beta    = flag.Float64("beta", 0, "override default beta")
+		mc      = flag.Int("mc", 0, "override Monte-Carlo rounds")
+		samples = flag.Int("samples", 0, "override quality sample count")
+		seed    = flag.Int64("seed", 0, "override random seed")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc bench.Scale
+	switch *scale {
+	case "default":
+		sc = bench.ScaleDefault()
+	case "smoke":
+		sc = bench.ScaleSmoke()
+	default:
+		fmt.Fprintf(os.Stderr, "simbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *users > 0 {
+		sc.Users = *users
+	}
+	if *stream > 0 {
+		sc.StreamLen = *stream
+	}
+	if *window > 0 {
+		sc.Window = *window
+	}
+	if *slide > 0 {
+		sc.Slide = *slide
+	}
+	if *k > 0 {
+		sc.K = *k
+	}
+	if *beta > 0 {
+		sc.Beta = *beta
+	}
+	if *mc > 0 {
+		sc.MCRounds = *mc
+	}
+	if *samples > 0 {
+		sc.Samples = *samples
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	var ids []string
+	if *exps == "all" {
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exps, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		if err := bench.Run(id, sc, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s finished in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,75 @@
+// Command simgen generates synthetic social action streams in the formats
+// consumed by simtrack: TSV ("id<TAB>user<TAB>parent", parent = -1 for
+// roots) or the compact SIM1 binary format.
+//
+// Usage:
+//
+//	simgen -preset twitter -users 10000 -actions 100000 > twitter.tsv
+//	simgen -preset syn-o -window 20000 -seed 7 -format binary -out syn.bin
+//
+// Presets: reddit, twitter, syn-o, syn-n (see DESIGN.md §4 for how each
+// relates to the paper's datasets).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataio"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		preset  = flag.String("preset", "twitter", "dataset preset: reddit, twitter, syn-o, syn-n")
+		users   = flag.Int("users", 20000, "user universe size |U|")
+		actions = flag.Int("actions", 100000, "stream length")
+		window  = flag.Int("window", 10000, "window size N the stream is scaled for")
+		seed    = flag.Int64("seed", 1, "random seed")
+		format  = flag.String("format", "tsv", "output format: tsv or binary")
+		out     = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	var cfg gen.Config
+	switch *preset {
+	case "reddit":
+		cfg = gen.RedditLike(*users, *actions, *window, *seed)
+	case "twitter":
+		cfg = gen.TwitterLike(*users, *actions, *window, *seed)
+	case "syn-o":
+		cfg = gen.SynO(*users, *actions, *window, *seed)
+	case "syn-n":
+		cfg = gen.SynN(*users, *actions, *window, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "simgen: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	stream := gen.Stream(cfg)
+	var err error
+	switch *format {
+	case "tsv":
+		err = dataio.WriteTSV(w, stream)
+	case "binary":
+		err = dataio.WriteBinary(w, stream)
+	default:
+		fmt.Fprintf(os.Stderr, "simgen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Real-Time Influence
+// Maximization on Dynamic Social Streams" (Wang, Fan, Li, Tan — VLDB 2017).
+//
+// The public API lives in package repro/sim; the paper's IC/SIC frameworks,
+// the streaming submodular oracles, the IMM/UBI/Greedy baselines and the
+// experiment harness live under internal/. See README.md for a tour,
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record. The benchmarks in bench_test.go regenerate every
+// table and figure of the paper's evaluation at laptop scale.
+package repro

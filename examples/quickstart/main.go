@@ -1,0 +1,51 @@
+// Quickstart: the paper's running example (Figure 1) fed through the public
+// API. Ten actions arrive; after each one we print the current influential
+// users and their influence value over a sliding window of N = 8 actions.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/sim"
+)
+
+func main() {
+	tracker, err := sim.New(sim.Config{
+		K:          2, // maintain the top-2 influencers
+		WindowSize: 8, // over the last 8 social actions
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The social stream of Figure 1: <user, parent>_time. a2 is u2 replying
+	// to u1's post a1, and so on.
+	actions := []sim.Action{
+		{ID: 1, User: 1, Parent: sim.NoParent},
+		{ID: 2, User: 2, Parent: 1},
+		{ID: 3, User: 3, Parent: sim.NoParent},
+		{ID: 4, User: 3, Parent: 1},
+		{ID: 5, User: 4, Parent: 3},
+		{ID: 6, User: 1, Parent: 3},
+		{ID: 7, User: 5, Parent: 3},
+		{ID: 8, User: 4, Parent: 7},
+		{ID: 9, User: 2, Parent: sim.NoParent},
+		{ID: 10, User: 6, Parent: 9},
+	}
+
+	for _, a := range actions {
+		if err := tracker.Process(a); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("after %-12v seeds=%-8v influence value=%.0f\n",
+			a, tracker.Seeds(), tracker.Value())
+	}
+
+	// Inspect one user's influence set in the final window: who recently
+	// acted under u3's (direct or transitive) impact?
+	fmt.Printf("\nI(u3) in the final window: %v\n", tracker.InfluenceSet(3))
+	fmt.Printf("window now starts at action %d\n", tracker.WindowStart())
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/greedy"
+	"repro/internal/oracle"
+	"repro/internal/stream"
+)
+
+// runCore streams ds through a raw core.Framework configuration, measuring
+// the same metrics as runFramework. Used by ablations that need factory
+// control beyond the public API.
+func runCore(ds Dataset, cfg core.Config) runMetrics {
+	fw := core.MustNew(cfg)
+	warm := cfg.N
+	if warm > len(ds.Actions) {
+		warm = len(ds.Actions) / 2
+	}
+	var sumVal, sumCp float64
+	var boundaries int
+	var elapsed time.Duration
+	l := cfg.L
+	if l == 0 {
+		l = 1
+	}
+	for i, a := range ds.Actions {
+		startT := time.Now()
+		if err := fw.Process(a); err != nil {
+			panic(err)
+		}
+		if i >= warm {
+			elapsed += time.Since(startT)
+		}
+		if (i+1)%l == 0 && i >= warm {
+			sumVal += fw.Value()
+			sumCp += float64(fw.Checkpoints())
+			boundaries++
+		}
+	}
+	m := runMetrics{}
+	if boundaries > 0 {
+		m.AvgValue = sumVal / float64(boundaries)
+		m.AvgCheckpoints = sumCp / float64(boundaries)
+	}
+	if timed := len(ds.Actions) - warm; timed > 0 && elapsed > 0 {
+		m.Throughput = float64(timed) / elapsed.Seconds()
+	}
+	return m
+}
+
+// strippedOracle removes the Latest/Size element metadata before delegating,
+// forcing the delegate onto its full-materialization slow path. It isolates
+// the contribution of the O(1) seed-update fast path.
+type strippedOracle struct{ o oracle.Oracle }
+
+func (s strippedOracle) Process(e oracle.Element) {
+	e.LatestValid = false
+	e.Size = -1
+	s.o.Process(e)
+}
+func (s strippedOracle) Value() float64         { return s.o.Value() }
+func (s strippedOracle) Seeds() []stream.UserID { return s.o.Seeds() }
+func (s strippedOracle) Stats() oracle.Stats    { return s.o.Stats() }
+
+func stripMeta(f oracle.Factory) oracle.Factory {
+	return func(k int) oracle.Oracle { return strippedOracle{f(k)} }
+}
+
+func init() {
+	register(Experiment{
+		ID:    "abl-oracle",
+		Title: "Ablation: SIC under each checkpoint oracle",
+		Run: func(sc Scale) Table {
+			s := shrink(sc, 2)
+			t := Table{
+				ID:     "abl-oracle",
+				Title:  "SIC with each Table 2 oracle: quality/cost trade-off",
+				Header: []string{"dataset", "oracle", "value", "throughput(K/s)", "checkpoints"},
+				Notes: []string{
+					"sieve-style oracles pay O(log k / beta) instances per checkpoint for the (1/2-beta) ratio; swap oracles are leaner at ratio 1/4",
+				},
+			}
+			kinds := []oracle.Kind{oracle.SieveStreaming, oracle.ThresholdStream, oracle.BlogWatch, oracle.MkC}
+			for _, ds := range Datasets(s)[1:3] { // Twitter-like, SYN-O
+				for _, kind := range kinds {
+					m := runCore(ds, core.Config{
+						K: s.K, N: s.Window, L: s.Slide, Beta: s.Beta, Sparse: true,
+						Oracle: oracle.NewFactory(kind, s.Beta, nil),
+					})
+					t.Rows = append(t.Rows, []string{
+						ds.Name, kind.String(), f1(m.AvgValue), f1(m.Throughput / 1000), f1(m.AvgCheckpoints),
+					})
+				}
+			}
+			return t
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-fastpath",
+		Title: "Ablation: element-metadata fast path (Latest/Size) on vs off",
+		Run: func(sc Scale) Table {
+			s := shrink(sc, 2)
+			t := Table{
+				ID:     "abl-fastpath",
+				Title:  "SIC throughput with and without the O(1) seed-update fast path",
+				Header: []string{"dataset", "fastpath", "value", "throughput(K/s)"},
+				Notes: []string{
+					"identical answers by construction; the fast path avoids re-merging a seed's full influence set on every update",
+				},
+			}
+			for _, ds := range Datasets(s)[:2] {
+				base := oracle.NewFactory(oracle.SieveStreaming, s.Beta, nil)
+				on := runCore(ds, core.Config{K: s.K, N: s.Window, L: s.Slide, Beta: s.Beta, Sparse: true, Oracle: base})
+				off := runCore(ds, core.Config{K: s.K, N: s.Window, L: s.Slide, Beta: s.Beta, Sparse: true, Oracle: stripMeta(base)})
+				t.Rows = append(t.Rows,
+					[]string{ds.Name, "on", f1(on.AvgValue), f1(on.Throughput / 1000)},
+					[]string{ds.Name, "off", f1(off.AvgValue), f1(off.Throughput / 1000)},
+				)
+			}
+			return t
+		},
+	})
+
+	register(Experiment{
+		ID:    "abl-greedy",
+		Title: "Ablation: CELF lazy greedy vs the paper's naive greedy",
+		Run: func(sc Scale) Table {
+			s := shrink(sc, 2)
+			t := Table{
+				ID:     "abl-greedy",
+				Title:  "Per-query latency of greedy implementations (same answers)",
+				Header: []string{"dataset", "k", "naive(ms)", "celf(ms)", "speedup", "value"},
+				Notes: []string{
+					"the paper's Greedy baseline is the naive O(k·|U|)-evaluation variant; CELF returns identical solutions",
+				},
+			}
+			for _, ds := range Datasets(s)[1:2] { // Twitter-like
+				st := stream.New()
+				limit := s.Window
+				if limit > len(ds.Actions) {
+					limit = len(ds.Actions)
+				}
+				for _, a := range ds.Actions[:limit] {
+					if _, err := st.Ingest(a); err != nil {
+						panic(err)
+					}
+				}
+				for _, k := range kSweep(s) {
+					start := time.Now()
+					_, nv := greedy.SelectNaive(st, 1, k, nil)
+					naive := time.Since(start)
+					start = time.Now()
+					_, cv := greedy.Select(st, 1, k, nil)
+					celf := time.Since(start)
+					speedup := 0.0
+					if celf > 0 {
+						speedup = float64(naive) / float64(celf)
+					}
+					if nv != cv {
+						panic("greedy variants disagree")
+					}
+					t.Rows = append(t.Rows, []string{
+						ds.Name, i0(k),
+						f2(float64(naive.Microseconds()) / 1000),
+						f2(float64(celf.Microseconds()) / 1000),
+						f1(speedup), f1(cv),
+					})
+				}
+			}
+			return t
+		},
+	})
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/stream"
+)
+
+// figure1Stream is the paper's running example (Figure 1).
+func figure1Stream() []stream.Action {
+	return []stream.Action{
+		{ID: 1, User: 1, Parent: stream.NoParent},
+		{ID: 2, User: 2, Parent: 1},
+		{ID: 3, User: 3, Parent: stream.NoParent},
+		{ID: 4, User: 3, Parent: 1},
+		{ID: 5, User: 4, Parent: 3},
+		{ID: 6, User: 1, Parent: 3},
+		{ID: 7, User: 5, Parent: 3},
+		{ID: 8, User: 4, Parent: 7},
+		{ID: 9, User: 2, Parent: stream.NoParent},
+		{ID: 10, User: 6, Parent: 9},
+	}
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig2-4",
+		Title: "Worked examples: checkpoint traces of Figures 2 and 4",
+		Run: func(Scale) Table {
+			t := Table{
+				ID:     "fig2-4",
+				Title:  "IC and SIC checkpoint values on the Figure 1 stream (N=8, k=2, optimal oracle)",
+				Header: []string{"t", "framework", "checkpoint values (by start)", "answer", "seeds"},
+				Notes: []string{
+					"IC at t=8 must read 5 5 4 4 3 3 2 1 (paper Fig 2); answers follow Example 2: value 5 at t=8, 6 at t=10",
+					"SIC uses beta=0.3 as in Example 5 and keeps a sparse subset incl. the expired Λ[x0]",
+				},
+			}
+			ic := core.MustNew(core.Config{K: 2, N: 8, L: 1, Oracle: oracle.ExactFactory(nil)})
+			sic := core.MustNew(core.Config{K: 2, N: 8, L: 1, Beta: 0.3, Sparse: true, Oracle: oracle.ExactFactory(nil)})
+			for _, a := range figure1Stream() {
+				if err := ic.Process(a); err != nil {
+					panic(err)
+				}
+				if err := sic.Process(a); err != nil {
+					panic(err)
+				}
+				if a.ID < 8 {
+					continue
+				}
+				for _, fw := range []struct {
+					name string
+					f    *core.Framework
+				}{{"IC", ic}, {"SIC", sic}} {
+					vals := ""
+					starts := fw.f.CheckpointStarts()
+					for i, v := range fw.f.CheckpointValues() {
+						if i > 0 {
+							vals += " "
+						}
+						vals += fmt.Sprintf("%d:%.0f", starts[i], v)
+					}
+					t.Rows = append(t.Rows, []string{
+						fmt.Sprintf("%d", a.ID), fw.name, vals,
+						f1(fw.f.Value()), fmt.Sprintf("%v", fw.f.Seeds()),
+					})
+				}
+			}
+			return t
+		},
+	})
+}

@@ -1,0 +1,333 @@
+// Package core implements the paper's primary contribution: the Influential
+// Checkpoints (IC, §4) and Sparse Influential Checkpoints (SIC, §5)
+// frameworks for continuous Stream Influence Maximization over sliding
+// windows.
+//
+// Both frameworks transform the sliding-window problem into a collection of
+// append-only problems: a checkpoint created at time s runs a streaming
+// submodular oracle over every action from s onward, so when the window
+// eventually begins at s the checkpoint's solution is exactly an
+// ε-approximate answer for that window (Theorem 2). IC keeps one checkpoint
+// per window slide (⌈N/L⌉ of them); SIC prunes checkpoints whose value is
+// sandwiched within a (1−β) band of a predecessor (Algorithm 2), keeping
+// O(log N / β) of them while guaranteeing an ε(1−β)/2 approximation
+// (Theorems 3–5).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/oracle"
+	"repro/internal/stream"
+)
+
+// Config parametrizes a Framework. The zero value is invalid; all fields
+// except Beta and Sparse are mandatory.
+type Config struct {
+	// K is the seed-set cardinality constraint of the SIM query.
+	K int
+	// N is the sliding window size in actions.
+	N int
+	// L is the number of actions per window slide (checkpoint spacing,
+	// paper §5.3). Defaults to 1 when zero.
+	L int
+	// Beta is SIC's pruning band in (0, 1); larger values keep fewer
+	// checkpoints at a larger approximation loss. Ignored when Sparse is
+	// false.
+	Beta float64
+	// Oracle constructs the checkpoint oracle (paper Table 2).
+	Oracle oracle.Factory
+	// Sparse selects SIC (true) or IC (false).
+	Sparse bool
+	// ByTime switches from the paper's sequence-based window to a
+	// time-based one: action IDs are treated as wall-clock timestamps (with
+	// gaps allowed), N and L become durations in the same unit, and a new
+	// checkpoint opens once L time units passed since the previous one.
+	// Window expiry is timestamp-based in both modes, so all approximation
+	// guarantees carry over unchanged — the checkpoints still cover exactly
+	// the suffixes of the current window.
+	ByTime bool
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.K < 1:
+		return errors.New("core: K must be >= 1")
+	case c.N < 1:
+		return errors.New("core: N must be >= 1")
+	case c.L < 0 || c.L > c.N:
+		return fmt.Errorf("core: L must be in [1, N], got %d", c.L)
+	case c.Oracle == nil:
+		return errors.New("core: Oracle factory is required")
+	case c.Sparse && (c.Beta <= 0 || c.Beta >= 1):
+		return fmt.Errorf("core: Beta must be in (0, 1) for SIC, got %v", c.Beta)
+	}
+	return nil
+}
+
+// checkpoint pairs an oracle with the time of the first action it has
+// observed; it is the Λ_t[x] of the paper, covering the suffix of the window
+// that begins at start.
+type checkpoint struct {
+	start  stream.ActionID
+	oracle oracle.Oracle
+}
+
+// Framework runs either IC or SIC over a social stream. It is not safe for
+// concurrent use.
+type Framework struct {
+	cfg Config
+	st  *stream.Stream
+
+	// cps is ordered by ascending start. Under SIC, cps[0] may be expired
+	// (start before the window start): the retained Λ[x0] of Algorithm 2
+	// that upper-bounds the optimum of the current window.
+	cps []*checkpoint
+
+	processed   int64 // actions ingested
+	lastCpStart stream.ActionID
+
+	// Cumulative counters for the experiment harness.
+	cpCreated int64
+	cpDeleted int64
+	cpSamples int64 // sum over actions of live checkpoint count
+	elemFed   int64 // oracle elements fed (the O(dN) term of §4.2)
+}
+
+// New validates cfg and returns an empty framework.
+func New(cfg Config) (*Framework, error) {
+	if cfg.L == 0 {
+		cfg.L = 1
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Framework{cfg: cfg, st: stream.New()}, nil
+}
+
+// MustNew is New for static configurations known to be valid.
+func MustNew(cfg Config) *Framework {
+	f, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Config returns the framework's configuration (with defaults applied).
+func (f *Framework) Config() Config { return f.cfg }
+
+// Stream exposes the underlying stream index, used by the evaluation
+// harness to build the window's influence graph. Callers must not mutate it.
+func (f *Framework) Stream() *stream.Stream { return f.st }
+
+// Processed returns the number of ingested actions.
+func (f *Framework) Processed() int64 { return f.processed }
+
+// WindowStart returns the ID of the first action of the current window W_t,
+// i.e. t−N+1 clamped to the first action.
+func (f *Framework) WindowStart() stream.ActionID {
+	ws := f.st.Last() - stream.ActionID(f.cfg.N) + 1
+	if len(f.cps) > 0 && ws < f.cps[0].start {
+		ws = f.cps[0].start
+	}
+	return ws
+}
+
+// Process ingests one action and performs the checkpoint maintenance of
+// Algorithm 1 (IC) or Algorithm 2 (SIC).
+func (f *Framework) Process(a stream.Action) error {
+	d, err := f.st.Ingest(a)
+	if err != nil {
+		return err
+	}
+
+	// Create a checkpoint on the first action of each slide batch
+	// (Algorithm 1 line 2; §5.3 for L > 1). In time-based mode a batch is L
+	// time units rather than L actions.
+	create := false
+	if f.cfg.ByTime {
+		create = f.processed == 0 || a.ID >= f.lastCpStart+stream.ActionID(f.cfg.L)
+	} else {
+		create = f.processed%int64(f.cfg.L) == 0
+	}
+	if create {
+		f.cps = append(f.cps, &checkpoint{start: a.ID, oracle: f.cfg.Oracle(f.cfg.K)})
+		f.lastCpStart = a.ID
+		f.cpCreated++
+	}
+	f.processed++
+
+	// Feed the action to every checkpoint through the Set-Stream Mapping
+	// (§4.2): each contributor u of the action re-emits (u, I_s(u)) with the
+	// influence set evaluated for the checkpoint's own suffix. The suffixes
+	// are nested, so one recency-sorted materialization per contributor
+	// serves every checkpoint as a prefix (stream.InfluenceRecency).
+	oldest := f.cps[0].start
+	for _, u := range d.Contributors {
+		list := f.st.InfluenceRecency(u, oldest)
+		for _, cp := range f.cps {
+			prefix := stream.PrefixFor(list, cp.start)
+			if len(prefix) == 0 {
+				continue
+			}
+			cp.oracle.Process(oracle.Element{
+				User: u,
+				// The current action's performer is the only member this
+				// element can have gained since u's previous element on
+				// this checkpoint — the O(1) seed-update fast path.
+				Latest:      a.User,
+				LatestValid: true,
+				Size:        len(prefix),
+				ForEach: func(visit func(stream.UserID) bool) {
+					for _, c := range prefix {
+						if !visit(c.V) {
+							return
+						}
+					}
+				},
+			})
+			f.elemFed++
+		}
+	}
+
+	// Expire checkpoints that no longer cover a suffix of the window.
+	ws := a.ID - stream.ActionID(f.cfg.N) + 1
+	f.expire(ws)
+
+	if f.cfg.Sparse {
+		f.prune()
+	}
+
+	// Release stream state older than the oldest checkpoint; under SIC the
+	// retained Λ[x0] keeps the horizon slightly behind the window start.
+	if len(f.cps) > 0 {
+		h := f.cps[0].start
+		if ws < h {
+			h = ws
+		}
+		f.st.Advance(h)
+	}
+
+	f.cpSamples += int64(len(f.cps))
+	return nil
+}
+
+// expire removes checkpoints whose start precedes the window start. IC
+// deletes all of them; SIC retains the newest expired checkpoint as Λ[x0]
+// (Algorithm 2 lines 21–23: Λ[x0] is deleted only once its successor also
+// expires).
+func (f *Framework) expire(windowStart stream.ActionID) {
+	n := 0
+	for n < len(f.cps) && f.cps[n].start < windowStart {
+		n++
+	}
+	if f.cfg.Sparse && n > 0 {
+		n-- // keep the newest expired checkpoint as Λ[x0]
+	}
+	if n > 0 {
+		f.cpDeleted += int64(n)
+		f.cps = append(f.cps[:0], f.cps[n:]...)
+	}
+}
+
+// prune is the SIC deletion rule (Algorithm 2 lines 9–20): starting from
+// each surviving checkpoint x_i, delete the following checkpoints x_j while
+// both Λ[x_j] and its successor stay within the (1−β) band of Λ[x_i]; the
+// successor then approximates the deleted ones with ratio ε(1−β)/2
+// (Lemma 2).
+func (f *Framework) prune() {
+	band := 1 - f.cfg.Beta
+	for i := 0; i < len(f.cps); i++ {
+		vi := f.cps[i].oracle.Value()
+		for i+2 < len(f.cps) &&
+			f.cps[i+1].oracle.Value() >= band*vi &&
+			f.cps[i+2].oracle.Value() >= band*vi {
+			f.cps = append(f.cps[:i+1], f.cps[i+2:]...)
+			f.cpDeleted++
+		}
+	}
+}
+
+// answer returns the checkpoint answering the SIM query: the oldest
+// checkpoint that covers at most the current window (Λ[x1]; under IC this is
+// Λ[1]). During warm-up, when even the oldest checkpoint covers less than N
+// actions, that oldest checkpoint is the exact choice.
+func (f *Framework) answer() *checkpoint {
+	ws := f.st.Last() - stream.ActionID(f.cfg.N) + 1
+	for _, cp := range f.cps {
+		if cp.start >= ws {
+			return cp
+		}
+	}
+	if len(f.cps) > 0 {
+		return f.cps[len(f.cps)-1]
+	}
+	return nil
+}
+
+// Seeds returns the current SIM solution: at most K users. The returned
+// slice is owned by the framework and valid until the next Process call.
+func (f *Framework) Seeds() []stream.UserID {
+	if cp := f.answer(); cp != nil {
+		return cp.oracle.Seeds()
+	}
+	return nil
+}
+
+// Value returns the influence value f(I_t(S)) of the current solution as
+// maintained by the answering checkpoint's oracle.
+func (f *Framework) Value() float64 {
+	if cp := f.answer(); cp != nil {
+		return cp.oracle.Value()
+	}
+	return 0
+}
+
+// Checkpoints returns the number of live checkpoints (including SIC's
+// retained Λ[x0]).
+func (f *Framework) Checkpoints() int { return len(f.cps) }
+
+// CheckpointStarts returns the start times of the live checkpoints in
+// ascending order; used by tests asserting Algorithm 2's structure.
+func (f *Framework) CheckpointStarts() []stream.ActionID {
+	out := make([]stream.ActionID, len(f.cps))
+	for i, cp := range f.cps {
+		out[i] = cp.start
+	}
+	return out
+}
+
+// CheckpointValues returns the oracle values of the live checkpoints in
+// ascending start order.
+func (f *Framework) CheckpointValues() []float64 {
+	out := make([]float64, len(f.cps))
+	for i, cp := range f.cps {
+		out[i] = cp.oracle.Value()
+	}
+	return out
+}
+
+// FrameworkStats aggregates maintenance counters for the harness.
+type FrameworkStats struct {
+	Processed      int64
+	Created        int64
+	Deleted        int64
+	AvgCheckpoints float64
+	ElementsFed    int64
+}
+
+// Stats returns cumulative maintenance counters.
+func (f *Framework) Stats() FrameworkStats {
+	s := FrameworkStats{
+		Processed:   f.processed,
+		Created:     f.cpCreated,
+		Deleted:     f.cpDeleted,
+		ElementsFed: f.elemFed,
+	}
+	if f.processed > 0 {
+		s.AvgCheckpoints = float64(f.cpSamples) / float64(f.processed)
+	}
+	return s
+}

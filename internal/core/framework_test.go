@@ -1,0 +1,400 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/stream"
+)
+
+// paperStream is the running example of Figure 1.
+func paperStream() []stream.Action {
+	return []stream.Action{
+		{ID: 1, User: 1, Parent: stream.NoParent},
+		{ID: 2, User: 2, Parent: 1},
+		{ID: 3, User: 3, Parent: stream.NoParent},
+		{ID: 4, User: 3, Parent: 1},
+		{ID: 5, User: 4, Parent: 3},
+		{ID: 6, User: 1, Parent: 3},
+		{ID: 7, User: 5, Parent: 3},
+		{ID: 8, User: 4, Parent: 7},
+		{ID: 9, User: 2, Parent: stream.NoParent},
+		{ID: 10, User: 6, Parent: 9},
+	}
+}
+
+func feed(t *testing.T, f *Framework, actions []stream.Action) {
+	t.Helper()
+	for _, a := range actions {
+		if err := f.Process(a); err != nil {
+			t.Fatalf("Process(%v): %v", a, err)
+		}
+	}
+}
+
+func sortedUsers(in []stream.UserID) []stream.UserID {
+	out := append([]stream.UserID(nil), in...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func exactIC(k, n, l int) *Framework {
+	return MustNew(Config{K: k, N: n, L: l, Oracle: oracle.ExactFactory(nil)})
+}
+
+func exactSIC(k, n, l int, beta float64) *Framework {
+	return MustNew(Config{K: k, N: n, L: l, Beta: beta, Oracle: oracle.ExactFactory(nil), Sparse: true})
+}
+
+// TestICReproducesFigure2 replays the paper's running example with the
+// optimal checkpoint oracle and checks the exact checkpoint values drawn in
+// Figure 2 at times 8, 9 and 10.
+func TestICReproducesFigure2(t *testing.T) {
+	f := exactIC(2, 8, 1)
+	actions := paperStream()
+
+	feed(t, f, actions[:8])
+	if got, want := f.CheckpointValues(), []float64{5, 5, 4, 4, 3, 3, 2, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("t=8 checkpoint values = %v, want %v", got, want)
+	}
+	if got, want := sortedUsers(f.Seeds()), []stream.UserID{1, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("t=8 seeds = %v, want %v", got, want)
+	}
+	if f.Value() != 5 {
+		t.Fatalf("t=8 value = %v, want 5", f.Value())
+	}
+
+	feed(t, f, actions[8:9])
+	if got, want := f.CheckpointValues(), []float64{5, 5, 5, 4, 4, 3, 2, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("t=9 checkpoint values = %v, want %v", got, want)
+	}
+
+	feed(t, f, actions[9:])
+	if got, want := f.CheckpointValues(), []float64{6, 6, 5, 5, 4, 3, 2, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("t=10 checkpoint values = %v, want %v", got, want)
+	}
+	if got, want := sortedUsers(f.Seeds()), []stream.UserID{2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("t=10 seeds = %v, want %v (Example 2)", got, want)
+	}
+	if f.Value() != 6 {
+		t.Fatalf("t=10 value = %v, want 6 (Example 2)", f.Value())
+	}
+}
+
+// TestSICOnPaperExample replays Example 5: SIC with β=0.3 must answer the
+// SIM query at t=8 with value 5 and at t=10 with value 6 (the figure's
+// Λ10[x1] covers the window exactly in this tiny example) while keeping
+// fewer checkpoints than IC.
+func TestSICOnPaperExample(t *testing.T) {
+	f := exactSIC(2, 8, 1, 0.3)
+	actions := paperStream()
+
+	feed(t, f, actions[:8])
+	if f.Value() != 5 {
+		t.Fatalf("t=8 SIC value = %v, want 5", f.Value())
+	}
+	if got := f.Checkpoints(); got >= 8 {
+		t.Fatalf("t=8 SIC checkpoints = %d, want < 8 (sparse)", got)
+	}
+
+	feed(t, f, actions[8:])
+	// Theorem 3 lower bound with the exact oracle: (1−β)/2 · OPT = 0.35·6.
+	if f.Value() < 0.35*6 {
+		t.Fatalf("t=10 SIC value = %v, below the ε(1−β)/2 bound", f.Value())
+	}
+	if f.Value() > 6 {
+		t.Fatalf("t=10 SIC value = %v, above OPT=6", f.Value())
+	}
+}
+
+func TestICCheckpointCountIsWindowOverL(t *testing.T) {
+	for _, l := range []int{1, 2, 5, 10} {
+		f := exactIC(1, 20, l)
+		for i := 1; i <= 100; i++ {
+			if err := f.Process(stream.Action{ID: stream.ActionID(i), User: stream.UserID(i % 7), Parent: stream.NoParent}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := (20 + l - 1) / l
+		if got := f.Checkpoints(); got != want {
+			t.Errorf("L=%d: checkpoints = %d, want ⌈N/L⌉ = %d", l, got, want)
+		}
+	}
+}
+
+// randomActions builds a reproducible random reply stream.
+func randomActions(seed int64, n, users, maxBack int, replyP float64) []stream.Action {
+	rng := rand.New(rand.NewSource(seed))
+	actions := make([]stream.Action, n)
+	for i := range actions {
+		a := stream.Action{ID: stream.ActionID(i + 1), User: stream.UserID(rng.Intn(users)), Parent: stream.NoParent}
+		if i > 0 && rng.Float64() < replyP {
+			back := rng.Intn(min(i, maxBack)) + 1
+			a.Parent = stream.ActionID(i + 1 - back)
+		}
+		actions[i] = a
+	}
+	return actions
+}
+
+// TestSICBandInvariant checks the structural consequence of Algorithm 2
+// after every action: no checkpoint survives whose two successors both sit
+// within the (1−β) band of it.
+func TestSICBandInvariant(t *testing.T) {
+	const beta = 0.25
+	f := exactSIC(2, 50, 1, beta)
+	for _, a := range randomActions(11, 400, 12, 40, 0.7) {
+		if err := f.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		vals := f.CheckpointValues()
+		for i := 0; i+2 < len(vals); i++ {
+			if vals[i+1] >= (1-beta)*vals[i] && vals[i+2] >= (1-beta)*vals[i] {
+				t.Fatalf("band invariant violated at t=%d: values=%v index=%d", a.ID, vals, i)
+			}
+		}
+	}
+}
+
+// TestSICCheckpointBound checks Theorem 5: O(log N / β) checkpoints.
+func TestSICCheckpointBound(t *testing.T) {
+	const beta = 0.2
+	const n = 200
+	f := exactSIC(2, n, 1, beta)
+	bound := int(2*math.Log(float64(n))/math.Log(1/(1-beta))) + 4
+	for _, a := range randomActions(5, 1000, 15, 80, 0.7) {
+		if err := f.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if got := f.Checkpoints(); got > bound {
+			t.Fatalf("t=%d: %d checkpoints > bound %d", a.ID, got, bound)
+		}
+	}
+}
+
+// TestSICWithinTheoremBoundOfIC runs IC and SIC side by side with the exact
+// oracle (ε = 1) and checks Theorem 3 continuously:
+// SIC value ≥ (1−β)/2 · OPT ≥ (1−β)/2 · IC value.
+func TestSICWithinTheoremBoundOfIC(t *testing.T) {
+	for _, beta := range []float64{0.1, 0.3, 0.5} {
+		ic := exactIC(2, 40, 1)
+		sic := exactSIC(2, 40, 1, beta)
+		for _, a := range randomActions(17, 600, 10, 30, 0.75) {
+			if err := ic.Process(a); err != nil {
+				t.Fatal(err)
+			}
+			if err := sic.Process(a); err != nil {
+				t.Fatal(err)
+			}
+			if sic.Value() < (1-beta)/2*ic.Value()-1e-9 {
+				t.Fatalf("β=%v t=%d: SIC %.1f < (1−β)/2 · IC %.1f", beta, a.ID, sic.Value(), ic.Value())
+			}
+			if sic.Value() > ic.Value()+1e-9 {
+				t.Fatalf("β=%v t=%d: SIC %.1f above exact IC %.1f", beta, a.ID, sic.Value(), ic.Value())
+			}
+		}
+	}
+}
+
+// TestSIC retains at most one expired checkpoint (Λ[x0]).
+func TestSICRetainsSingleExpiredCheckpoint(t *testing.T) {
+	f := exactSIC(2, 20, 1, 0.3)
+	for _, a := range randomActions(23, 300, 8, 15, 0.7) {
+		if err := f.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		ws := a.ID - 20 + 1
+		expired := 0
+		for _, s := range f.CheckpointStarts() {
+			if s < ws {
+				expired++
+			}
+		}
+		if expired > 1 {
+			t.Fatalf("t=%d: %d expired checkpoints retained, want <= 1", a.ID, expired)
+		}
+	}
+}
+
+func TestICSeedsNeverExceedK(t *testing.T) {
+	f := MustNew(Config{K: 3, N: 30, L: 1, Oracle: oracle.NewFactory(oracle.SieveStreaming, 0.2, nil)})
+	for _, a := range randomActions(31, 500, 20, 25, 0.8) {
+		if err := f.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Seeds()) > 3 {
+			t.Fatalf("t=%d: %d seeds > k", a.ID, len(f.Seeds()))
+		}
+	}
+}
+
+// TestSieveICTracksExactWithinRatio: with SieveStreaming (ε = 1/2 − β) the
+// IC answer must stay within the oracle's ratio of the exact IC answer.
+func TestSieveICTracksExactWithinRatio(t *testing.T) {
+	const beta = 0.1
+	exact := exactIC(2, 40, 1)
+	sieve := MustNew(Config{K: 2, N: 40, L: 1, Oracle: oracle.NewFactory(oracle.SieveStreaming, beta, nil)})
+	for _, a := range randomActions(41, 600, 12, 30, 0.7) {
+		if err := exact.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := sieve.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if want := (0.5 - beta) * exact.Value(); sieve.Value() < want-1e-9 {
+			t.Fatalf("t=%d: sieve IC %.2f < (1/2−β)·OPT %.2f", a.ID, sieve.Value(), want)
+		}
+	}
+}
+
+func TestMultiShiftPreservesQuality(t *testing.T) {
+	// L > 1 must not break the approximation: compare SIC with L=5 against
+	// exact IC with L=1 at slide boundaries.
+	const beta = 0.2
+	ic := exactIC(2, 40, 1)
+	sic := exactSIC(2, 40, 5, beta)
+	for _, a := range randomActions(53, 600, 10, 30, 0.75) {
+		if err := ic.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := sic.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if a.ID%5 != 0 {
+			continue
+		}
+		// At boundaries the answering checkpoint covers at most the window;
+		// Theorem 3's bound must hold against the exact optimum.
+		if sic.Value() < (1-beta)/2*ic.Value()-1e-9 {
+			t.Fatalf("t=%d: multi-shift SIC %.1f < bound vs IC %.1f", a.ID, sic.Value(), ic.Value())
+		}
+	}
+}
+
+func TestStreamHorizonFollowsCheckpoints(t *testing.T) {
+	f := exactSIC(2, 25, 1, 0.3)
+	for _, a := range randomActions(61, 400, 8, 20, 0.7) {
+		if err := f.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		starts := f.CheckpointStarts()
+		if len(starts) == 0 {
+			continue
+		}
+		if h := f.Stream().Horizon(); h > starts[0] {
+			t.Fatalf("t=%d: horizon %d past oldest checkpoint %d", a.ID, h, starts[0])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	fact := oracle.ExactFactory(nil)
+	bad := []Config{
+		{K: 0, N: 10, L: 1, Oracle: fact},
+		{K: 1, N: 0, L: 1, Oracle: fact},
+		{K: 1, N: 10, L: 11, Oracle: fact},
+		{K: 1, N: 10, L: -1, Oracle: fact},
+		{K: 1, N: 10, L: 1},
+		{K: 1, N: 10, L: 1, Oracle: fact, Sparse: true, Beta: 0},
+		{K: 1, N: 10, L: 1, Oracle: fact, Sparse: true, Beta: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+	if _, err := New(Config{K: 1, N: 10, Oracle: fact}); err != nil {
+		t.Errorf("valid config rejected: %v (L should default to 1)", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustNew: expected panic on invalid config")
+			}
+		}()
+		MustNew(Config{})
+	}()
+}
+
+func TestEmptyFramework(t *testing.T) {
+	f := exactIC(2, 10, 1)
+	if f.Value() != 0 || f.Seeds() != nil || f.Checkpoints() != 0 {
+		t.Fatal("empty framework must answer zero")
+	}
+}
+
+func TestProcessRejectsOutOfOrder(t *testing.T) {
+	f := exactIC(1, 10, 1)
+	if err := f.Process(stream.Action{ID: 5, User: 1, Parent: stream.NoParent}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Process(stream.Action{ID: 4, User: 1, Parent: stream.NoParent}); err == nil {
+		t.Fatal("expected error for out-of-order action")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	f := exactIC(2, 10, 2)
+	feed(t, f, randomActions(71, 40, 5, 8, 0.5))
+	s := f.Stats()
+	if s.Processed != 40 {
+		t.Errorf("Processed = %d, want 40", s.Processed)
+	}
+	if s.Created != 20 { // one checkpoint per L=2 actions
+		t.Errorf("Created = %d, want 20", s.Created)
+	}
+	if s.Created-s.Deleted != int64(f.Checkpoints()) {
+		t.Errorf("created-deleted=%d != live %d", s.Created-s.Deleted, f.Checkpoints())
+	}
+	if s.AvgCheckpoints <= 0 || s.ElementsFed <= 0 {
+		t.Errorf("stats not populated: %+v", s)
+	}
+}
+
+// TestValueMatchesWindowOptimum cross-checks the full pipeline: the exact-IC
+// answer at each step equals a from-scratch brute-force SIM optimum over the
+// current window.
+func TestValueMatchesWindowOptimum(t *testing.T) {
+	const k, n = 2, 15
+	f := exactIC(k, n, 1)
+	for _, a := range randomActions(83, 200, 6, 10, 0.7) {
+		if err := f.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		want := bruteOptimum(f.Stream(), f.WindowStart(), k)
+		if f.Value() != want {
+			t.Fatalf("t=%d: IC exact value %.1f != brute optimum %.1f", a.ID, f.Value(), want)
+		}
+	}
+}
+
+// bruteOptimum computes the SIM optimum over the window by enumeration of
+// user subsets.
+func bruteOptimum(st *stream.Stream, start stream.ActionID, k int) float64 {
+	var users []stream.UserID
+	st.Influencers(start, func(u stream.UserID) bool { users = append(users, u); return true })
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	best := 0.0
+	var rec func(i int, chosen []stream.UserID)
+	rec = func(i int, chosen []stream.UserID) {
+		cov := map[stream.UserID]bool{}
+		for _, u := range chosen {
+			st.Influence(u, start, func(v stream.UserID) bool { cov[v] = true; return true })
+		}
+		if v := float64(len(cov)); v > best {
+			best = v
+		}
+		if len(chosen) == k {
+			return
+		}
+		for j := i; j < len(users); j++ {
+			rec(j+1, append(chosen, users[j]))
+		}
+	}
+	rec(0, nil)
+	return best
+}

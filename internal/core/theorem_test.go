@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/oracle"
+	"repro/internal/stream"
+)
+
+// TestTheorem4EndToEnd checks the paper's headline guarantee on random
+// streams: SIC with SieveStreaming maintains at least a (1/4 − β)-approximate
+// SIM solution at every step (Theorem 4), verified against the brute-force
+// window optimum.
+func TestTheorem4EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brute-force optimum is expensive")
+	}
+	const beta = 0.2
+	const k, n = 2, 25
+	f := func(seed int64) bool {
+		fw := MustNew(Config{
+			K: k, N: n, L: 1, Beta: beta, Sparse: true,
+			Oracle: oracle.NewFactory(oracle.SieveStreaming, beta, nil),
+		})
+		for _, a := range randomActions(seed, 150, 8, 15, 0.7) {
+			if err := fw.Process(a); err != nil {
+				return false
+			}
+			opt := bruteOptimum(fw.Stream(), fw.WindowStart(), k)
+			if fw.Value() < (0.25-beta)*opt-1e-9 {
+				t.Logf("seed %d t=%d: SIC %v < (1/4−β)·OPT %v", seed, a.ID, fw.Value(), opt)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem4AllOracles repeats the end-to-end bound with each oracle and
+// its own ratio ε, checking SIC's ε(1−β)/2 guarantee (Theorem 3).
+func TestTheorem3AllOracles(t *testing.T) {
+	const beta = 0.2
+	const k, n = 2, 25
+	ratios := map[oracle.Kind]float64{
+		oracle.SieveStreaming:  0.5 - beta,
+		oracle.ThresholdStream: 0.5 - beta,
+		oracle.BlogWatch:       0.25,
+		oracle.MkC:             0.25,
+	}
+	for kind, eps := range ratios {
+		fw := MustNew(Config{
+			K: k, N: n, L: 1, Beta: beta, Sparse: true,
+			Oracle: oracle.NewFactory(kind, beta, nil),
+		})
+		bound := eps * (1 - beta) / 2
+		for _, a := range randomActions(31, 300, 8, 15, 0.7) {
+			if err := fw.Process(a); err != nil {
+				t.Fatal(err)
+			}
+			opt := bruteOptimum(fw.Stream(), fw.WindowStart(), k)
+			if fw.Value() < bound*opt-1e-9 {
+				t.Fatalf("%v t=%d: value %v < %.3f·OPT %v", kind, a.ID, fw.Value(), bound, opt)
+			}
+		}
+	}
+}
+
+// TestRecoveryAfterRejectedAction: a rejected (out-of-order) action must not
+// corrupt the framework — subsequent valid actions continue normally.
+func TestRecoveryAfterRejectedAction(t *testing.T) {
+	fw := MustNew(Config{
+		K: 2, N: 10, L: 1,
+		Oracle: oracle.NewFactory(oracle.SieveStreaming, 0.1, nil),
+	})
+	good := randomActions(5, 30, 5, 8, 0.6)
+	for _, a := range good[:15] {
+		if err := fw.Process(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	valBefore := fw.Value()
+	cpBefore := fw.Checkpoints()
+	// Inject failures: stale ID, duplicate ID, future parent.
+	bad := []stream.Action{
+		{ID: 3, User: 1, Parent: stream.NoParent},
+		{ID: 15, User: 1, Parent: stream.NoParent},
+		{ID: 99, User: 1, Parent: 100},
+	}
+	for _, a := range bad {
+		if err := fw.Process(a); err == nil {
+			t.Fatalf("action %v accepted", a)
+		}
+	}
+	if fw.Value() != valBefore || fw.Checkpoints() != cpBefore {
+		t.Fatal("rejected actions mutated framework state")
+	}
+	for _, a := range good[15:] {
+		if err := fw.Process(a); err != nil {
+			t.Fatalf("framework unusable after rejections: %v", err)
+		}
+	}
+	if fw.Value() <= 0 {
+		t.Fatal("no value after recovery")
+	}
+}
+
+// TestLongRunStability runs SIC over a long stream and checks bounded state:
+// checkpoints stay O(log N / β), the stream index does not accumulate
+// garbage, and the window never exceeds retention bounds.
+func TestLongRunStability(t *testing.T) {
+	const n = 100
+	fw := MustNew(Config{
+		K: 3, N: n, L: 5, Beta: 0.2, Sparse: true,
+		Oracle: oracle.NewFactory(oracle.SieveStreaming, 0.2, nil),
+	})
+	for _, a := range randomActions(99, 5000, 30, 60, 0.75) {
+		if err := fw.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		// Retention can exceed N: SIC keeps one expired checkpoint Λ[x0]
+		// whose suffix can reach ~N before its own expiry ("a window with
+		// size larger than N", Algorithm 2), so 2N is the structural bound.
+		if got := fw.Stream().Len(); got > 3*n {
+			t.Fatalf("t=%d: retained %d actions, want <= 3N", a.ID, got)
+		}
+		if got := fw.Checkpoints(); got > 60 {
+			t.Fatalf("t=%d: %d checkpoints", a.ID, got)
+		}
+	}
+}
+
+// TestRejectionDoesNotCountProcessed verifies accounting under failures.
+func TestRejectionDoesNotCountProcessed(t *testing.T) {
+	fw := MustNew(Config{K: 1, N: 5, L: 1, Oracle: oracle.NewFactory(oracle.SieveStreaming, 0.1, nil)})
+	if err := fw.Process(stream.Action{ID: 2, User: 1, Parent: stream.NoParent}); err != nil {
+		t.Fatal(err)
+	}
+	_ = fw.Process(stream.Action{ID: 1, User: 1, Parent: stream.NoParent}) // rejected
+	if fw.Processed() != 1 {
+		t.Fatalf("Processed = %d, want 1", fw.Processed())
+	}
+	if fw.Stats().Created != 1 {
+		t.Fatalf("Created = %d, want 1", fw.Stats().Created)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/stream"
+)
+
+// TestTimeBasedExpiry: with gappy timestamps, influence must expire by time,
+// not by action count.
+func TestTimeBasedExpiry(t *testing.T) {
+	fw := MustNew(Config{
+		K: 1, N: 50, L: 10, ByTime: true,
+		Oracle: oracle.ExactFactory(nil),
+	})
+	// A burst at t=1..3 by user 1, then silence, then one action at t=100.
+	actions := []stream.Action{
+		{ID: 1, User: 1, Parent: stream.NoParent},
+		{ID: 2, User: 2, Parent: 1},
+		{ID: 3, User: 3, Parent: 1},
+		{ID: 100, User: 9, Parent: stream.NoParent},
+	}
+	for _, a := range actions[:3] {
+		if err := fw.Process(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fw.Value() != 3 { // user 1 influences {1,2,3}
+		t.Fatalf("value during burst = %v, want 3", fw.Value())
+	}
+	if err := fw.Process(actions[3]); err != nil {
+		t.Fatal(err)
+	}
+	// At t=100 the window is [51, 100]: only the action at t=100 counts,
+	// even though merely 4 actions ever arrived.
+	if fw.Value() != 1 {
+		t.Fatalf("value after gap = %v, want 1", fw.Value())
+	}
+	seeds := fw.Seeds()
+	if len(seeds) != 1 || seeds[0] != 9 {
+		t.Fatalf("seeds after gap = %v, want [9]", seeds)
+	}
+}
+
+// TestTimeBasedCheckpointSpacing: checkpoints open per L time units, not per
+// L actions.
+func TestTimeBasedCheckpointSpacing(t *testing.T) {
+	fw := MustNew(Config{
+		K: 1, N: 100, L: 10, ByTime: true,
+		Oracle: oracle.ExactFactory(nil),
+	})
+	// Five actions inside 10 time units: a single checkpoint.
+	for _, id := range []stream.ActionID{1, 3, 5, 7, 9} {
+		if err := fw.Process(stream.Action{ID: id, User: 1, Parent: stream.NoParent}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fw.Checkpoints(); got != 1 {
+		t.Fatalf("checkpoints within one slide = %d, want 1", got)
+	}
+	// Next action 10 units later opens a new one.
+	if err := fw.Process(stream.Action{ID: 11, User: 1, Parent: stream.NoParent}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fw.Checkpoints(); got != 2 {
+		t.Fatalf("checkpoints after slide = %d, want 2", got)
+	}
+	if got := fw.CheckpointStarts(); !reflect.DeepEqual(got, []stream.ActionID{1, 11}) {
+		t.Fatalf("starts = %v, want [1 11]", got)
+	}
+}
+
+// TestTimeBasedMatchesSequenceOnDenseStream: when IDs are contiguous, time
+// mode and sequence mode coincide exactly.
+func TestTimeBasedMatchesSequenceOnDenseStream(t *testing.T) {
+	seq := exactIC(2, 20, 5)
+	tim := MustNew(Config{K: 2, N: 20, L: 5, ByTime: true, Oracle: oracle.ExactFactory(nil)})
+	for _, a := range randomActions(3, 200, 8, 15, 0.7) {
+		if err := seq.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := tim.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if seq.Value() != tim.Value() {
+			t.Fatalf("t=%d: seq %v != time %v", a.ID, seq.Value(), tim.Value())
+		}
+		if !reflect.DeepEqual(seq.CheckpointStarts(), tim.CheckpointStarts()) {
+			t.Fatalf("t=%d: starts differ: %v vs %v", a.ID, seq.CheckpointStarts(), tim.CheckpointStarts())
+		}
+	}
+}
+
+// TestTimeBasedSICBound: the SIC guarantee holds under time-based windows
+// with gappy streams.
+func TestTimeBasedSICBound(t *testing.T) {
+	const beta = 0.3
+	fw := MustNew(Config{
+		K: 2, N: 40, L: 4, Beta: beta, Sparse: true, ByTime: true,
+		Oracle: oracle.ExactFactory(nil),
+	})
+	// Gappy stream: irregular timestamps.
+	id := stream.ActionID(0)
+	rngStep := []stream.ActionID{1, 3, 1, 7, 2, 1, 5, 1, 1, 9}
+	var last []stream.Action
+	for i := 0; i < 400; i++ {
+		id += rngStep[i%len(rngStep)]
+		a := stream.Action{ID: id, User: stream.UserID(i % 9), Parent: stream.NoParent}
+		if i > 0 && i%3 != 0 {
+			a.Parent = last[len(last)-1].ID
+		}
+		last = append(last, a)
+		if err := fw.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		opt := bruteOptimum(fw.Stream(), fw.WindowStart(), 2)
+		if fw.Value() < (1-beta)/2*opt-1e-9 {
+			t.Fatalf("t=%d: %v < bound of OPT %v", a.ID, fw.Value(), opt)
+		}
+	}
+}
+
+func TestTimeBasedSeedsSorted(t *testing.T) {
+	fw := MustNew(Config{K: 3, N: 30, L: 3, ByTime: true, Oracle: oracle.ExactFactory(nil)})
+	for _, a := range randomActions(8, 100, 6, 10, 0.6) {
+		if err := fw.Process(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seeds := append([]stream.UserID(nil), fw.Seeds()...)
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	for i := 1; i < len(seeds); i++ {
+		if seeds[i] == seeds[i-1] {
+			t.Fatalf("duplicate seed: %v", fw.Seeds())
+		}
+	}
+}

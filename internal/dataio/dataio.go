@@ -1,0 +1,183 @@
+// Package dataio reads and writes social action streams in the repository's
+// interchange formats:
+//
+//   - TSV: one action per line, "id<TAB>user<TAB>parent" with parent −1 for
+//     roots. Human-inspectable; produced by simgen and consumed by simtrack.
+//   - Binary: a compact varint encoding (~5x smaller, ~10x faster to parse),
+//     with a magic header for sniffing. Suited to large generated datasets.
+//
+// Both formats stream: readers deliver actions through a callback without
+// materializing the whole dataset.
+package dataio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// binaryMagic starts every binary stream file.
+var binaryMagic = [4]byte{'S', 'I', 'M', '1'}
+
+// ErrBadMagic is returned when a binary stream has the wrong header.
+var ErrBadMagic = errors.New("dataio: not a SIM1 binary stream")
+
+// WriteTSV writes actions in the TSV format.
+func WriteTSV(w io.Writer, actions []stream.Action) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, a := range actions {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\n", a.ID, a.User, a.Parent); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTSVLine parses one TSV action line.
+func ParseTSVLine(line string) (stream.Action, error) {
+	parts := strings.Split(strings.TrimSpace(line), "\t")
+	if len(parts) != 3 {
+		return stream.Action{}, fmt.Errorf("dataio: want 3 tab-separated fields, got %d", len(parts))
+	}
+	id, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return stream.Action{}, fmt.Errorf("dataio: bad id: %w", err)
+	}
+	user, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 32)
+	if err != nil {
+		return stream.Action{}, fmt.Errorf("dataio: bad user: %w", err)
+	}
+	parent, err := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+	if err != nil {
+		return stream.Action{}, fmt.Errorf("dataio: bad parent: %w", err)
+	}
+	if parent < -1 {
+		return stream.Action{}, fmt.Errorf("dataio: bad parent %d", parent)
+	}
+	return stream.Action{ID: stream.ActionID(id), User: stream.UserID(user), Parent: stream.ActionID(parent)}, nil
+}
+
+// ReadTSV streams actions from TSV input to visit, stopping early if visit
+// returns false. Blank lines and lines starting with '#' are skipped.
+func ReadTSV(r io.Reader, visit func(stream.Action) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if s := strings.TrimSpace(line); s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		a, err := ParseTSVLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if !visit(a) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// WriteBinary writes actions in the SIM1 binary format: the magic header
+// followed by one record per action — uvarint delta-encoded ID, uvarint
+// user, and the parent encoded as a uvarint backward distance (0 = root).
+// Delta and distance coding keep typical streams to a few bytes per action.
+func WriteBinary(w io.Writer, actions []stream.Action) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [3 * binary.MaxVarintLen64]byte
+	prev := stream.ActionID(0)
+	for _, a := range actions {
+		if a.ID <= prev {
+			return fmt.Errorf("dataio: non-monotonic ID %d after %d", a.ID, prev)
+		}
+		n := binary.PutUvarint(buf[:], uint64(a.ID-prev))
+		n += binary.PutUvarint(buf[n:], uint64(a.User))
+		dist := uint64(0)
+		if !a.Root() {
+			if a.Parent >= a.ID {
+				return fmt.Errorf("dataio: action %d has parent %d in the future", a.ID, a.Parent)
+			}
+			dist = uint64(a.ID - a.Parent)
+		}
+		n += binary.PutUvarint(buf[n:], dist)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = a.ID
+	}
+	return bw.Flush()
+}
+
+// ReadBinary streams actions from SIM1 binary input to visit, stopping early
+// if visit returns false.
+func ReadBinary(r io.Reader, visit func(stream.Action) bool) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("dataio: reading header: %w", err)
+	}
+	if magic != binaryMagic {
+		return ErrBadMagic
+	}
+	prev := stream.ActionID(0)
+	for {
+		delta, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("dataio: reading id: %w", err)
+		}
+		user, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("dataio: reading user: %w", err)
+		}
+		dist, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("dataio: reading parent: %w", err)
+		}
+		if delta == 0 {
+			return errors.New("dataio: zero ID delta")
+		}
+		id := prev + stream.ActionID(delta)
+		a := stream.Action{ID: id, User: stream.UserID(user), Parent: stream.NoParent}
+		if dist > 0 {
+			a.Parent = id - stream.ActionID(dist)
+		}
+		prev = id
+		if !visit(a) {
+			return nil
+		}
+	}
+}
+
+// ReadAuto sniffs the format (binary magic vs TSV) and streams the actions.
+func ReadAuto(r io.Reader, visit func(stream.Action) bool) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head, err := br.Peek(4)
+	if err == nil && [4]byte(head) == binaryMagic {
+		return ReadBinary(br, visit)
+	}
+	return ReadTSV(br, visit)
+}
+
+// ReadAll materializes every action from r (auto-detected format).
+func ReadAll(r io.Reader) ([]stream.Action, error) {
+	var out []stream.Action
+	err := ReadAuto(r, func(a stream.Action) bool {
+		out = append(out, a)
+		return true
+	})
+	return out, err
+}

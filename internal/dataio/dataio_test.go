@@ -1,0 +1,170 @@
+package dataio
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/stream"
+)
+
+func sampleActions() []stream.Action {
+	return []stream.Action{
+		{ID: 1, User: 7, Parent: stream.NoParent},
+		{ID: 2, User: 0, Parent: 1},
+		{ID: 5, User: 4294967295, Parent: 2}, // max user, gappy ID
+		{ID: 9, User: 3, Parent: stream.NoParent},
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, sampleActions()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleActions()) {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleActions()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleActions()) {
+		t.Fatalf("round trip: %v", got)
+	}
+}
+
+func TestBinaryIsSmallerThanTSV(t *testing.T) {
+	actions := gen.Stream(gen.TwitterLike(500, 20000, 4000, 1))
+	var tsv, bin bytes.Buffer
+	if err := WriteTSV(&tsv, actions); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, actions); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len()*2 >= tsv.Len() {
+		t.Fatalf("binary %d bytes not < half of TSV %d bytes", bin.Len(), tsv.Len())
+	}
+}
+
+func TestTSVSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1\t2\t-1\n   \n2\t3\t1\n"
+	got, err := ReadAll(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d actions", len(got))
+	}
+}
+
+func TestTSVErrorsCarryLineNumbers(t *testing.T) {
+	in := "1\t2\t-1\nbad line\n"
+	err := ReadTSV(strings.NewReader(in), func(stream.Action) bool { return true })
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseTSVLineErrors(t *testing.T) {
+	for _, line := range []string{"", "1\t2", "1\t2\t3\t4", "x\t2\t3", "1\ty\t3", "1\t2\tz", "1\t2\t-9"} {
+		if _, err := ParseTSVLine(line); err == nil {
+			t.Errorf("ParseTSVLine(%q) succeeded", line)
+		}
+	}
+}
+
+func TestBinaryRejectsBadInput(t *testing.T) {
+	if err := ReadBinary(strings.NewReader("nope"), nil); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if err := ReadBinary(strings.NewReader("x"), nil); err == nil {
+		t.Fatal("short header accepted")
+	}
+	// Truncated record.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleActions()); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-1]
+	err := ReadBinary(bytes.NewReader(trunc), func(stream.Action) bool { return true })
+	if err == nil {
+		t.Fatal("truncated record accepted")
+	}
+}
+
+func TestWriteBinaryValidates(t *testing.T) {
+	if err := WriteBinary(&bytes.Buffer{}, []stream.Action{{ID: 2, User: 1}, {ID: 2, User: 1}}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	if err := WriteBinary(&bytes.Buffer{}, []stream.Action{{ID: 2, User: 1, Parent: 3}}); err == nil {
+		t.Fatal("future parent accepted")
+	}
+}
+
+func TestReadAutoDetectsBoth(t *testing.T) {
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, sampleActions()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&bin)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("auto binary: %v %v", got, err)
+	}
+	var tsv bytes.Buffer
+	if err := WriteTSV(&tsv, sampleActions()); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadAll(&tsv)
+	if err != nil || len(got) != 4 {
+		t.Fatalf("auto tsv: %v %v", got, err)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleActions()); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := ReadBinary(&buf, func(stream.Action) bool { n++; return n < 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("visited %d, want 2", n)
+	}
+}
+
+// TestRoundTripProperty fuzzes random valid streams through both formats.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := gen.Config{Users: 50, Actions: 300, RootProb: 0.4, MeanRespDist: 30, Seed: seed}
+		actions := gen.Stream(cfg)
+		var tsv, bin bytes.Buffer
+		if WriteTSV(&tsv, actions) != nil || WriteBinary(&bin, actions) != nil {
+			return false
+		}
+		a, err1 := ReadAll(&tsv)
+		b, err2 := ReadAll(&bin)
+		return err1 == nil && err2 == nil && reflect.DeepEqual(a, actions) && reflect.DeepEqual(b, actions)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package graph builds the per-window influence graph used by the paper's
+// evaluation (§6.1) and by the static/dynamic IM baselines: vertices are the
+// users of the current window, with a directed edge u→v whenever u
+// influences v (v ∈ I_t(u), u ≠ v). Edge probabilities follow the weighted
+// cascade (WC) model of Kempe et al.: p(u→v) = 1 / indeg(v).
+package graph
+
+import (
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// NodeID indexes a vertex inside one Graph. Node numbering is dense and
+// specific to the graph instance; use Graph.UserOf / Graph.NodeOf to
+// translate.
+type NodeID = int32
+
+// Graph is an immutable directed influence graph under the WC model.
+type Graph struct {
+	users []stream.UserID
+	index map[stream.UserID]NodeID
+	out   [][]NodeID
+	in    [][]NodeID
+	edges int
+}
+
+// FromWindow materializes the influence graph G_t for the window suffix
+// starting at start: exactly the construction the paper uses to feed IMM and
+// UBI and to evaluate seed quality.
+func FromWindow(st *stream.Stream, start stream.ActionID) *Graph {
+	g := &Graph{index: map[stream.UserID]NodeID{}}
+	// First pass: collect vertices (both influencers and influenced users).
+	st.Influencers(start, func(u stream.UserID) bool {
+		g.node(u)
+		st.Influence(u, start, func(v stream.UserID) bool {
+			g.node(v)
+			return true
+		})
+		return true
+	})
+	g.out = make([][]NodeID, len(g.users))
+	g.in = make([][]NodeID, len(g.users))
+	// Second pass: edges u→v for v ∈ I(u), v ≠ u.
+	st.Influencers(start, func(u stream.UserID) bool {
+		un := g.index[u]
+		st.Influence(u, start, func(v stream.UserID) bool {
+			if v != u {
+				vn := g.index[v]
+				g.out[un] = append(g.out[un], vn)
+				g.in[vn] = append(g.in[vn], un)
+				g.edges++
+			}
+			return true
+		})
+		return true
+	})
+	return g
+}
+
+// Build constructs a graph directly from an edge list over user IDs,
+// deduplicating edges. It backs tests and synthetic constructions.
+func Build(edges [][2]stream.UserID) *Graph {
+	g := &Graph{index: map[stream.UserID]NodeID{}}
+	for _, e := range edges {
+		g.node(e[0])
+		g.node(e[1])
+	}
+	g.out = make([][]NodeID, len(g.users))
+	g.in = make([][]NodeID, len(g.users))
+	type pair struct{ a, b NodeID }
+	seen := map[pair]bool{}
+	for _, e := range edges {
+		u, v := g.index[e[0]], g.index[e[1]]
+		if u == v || seen[pair{u, v}] {
+			continue
+		}
+		seen[pair{u, v}] = true
+		g.out[u] = append(g.out[u], v)
+		g.in[v] = append(g.in[v], u)
+		g.edges++
+	}
+	return g
+}
+
+func (g *Graph) node(u stream.UserID) NodeID {
+	if n, ok := g.index[u]; ok {
+		return n
+	}
+	n := NodeID(len(g.users))
+	g.users = append(g.users, u)
+	g.index[u] = n
+	return n
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.users) }
+
+// Edges returns the number of directed edges.
+func (g *Graph) Edges() int { return g.edges }
+
+// UserOf returns the user at node n.
+func (g *Graph) UserOf(n NodeID) stream.UserID { return g.users[n] }
+
+// NodeOf returns the node of user u, if present.
+func (g *Graph) NodeOf(u stream.UserID) (NodeID, bool) {
+	n, ok := g.index[u]
+	return n, ok
+}
+
+// Out returns the out-neighbours of n. Callers must not modify the slice.
+func (g *Graph) Out(n NodeID) []NodeID { return g.out[n] }
+
+// In returns the in-neighbours of n. Callers must not modify the slice.
+func (g *Graph) In(n NodeID) []NodeID { return g.in[n] }
+
+// Prob returns the WC activation probability of any edge entering v:
+// 1 / indeg(v).
+func (g *Graph) Prob(v NodeID) float64 {
+	d := len(g.in[v])
+	if d == 0 {
+		return 0
+	}
+	return 1 / float64(d)
+}
+
+// NodesOf translates user IDs to node IDs, silently dropping users absent
+// from the graph (users with no recorded influence in the window spread
+// nothing under G_t).
+func (g *Graph) NodesOf(users []stream.UserID) []NodeID {
+	out := make([]NodeID, 0, len(users))
+	for _, u := range users {
+		if n, ok := g.index[u]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RandomNode returns a uniformly random node; it panics on an empty graph.
+func (g *Graph) RandomNode(rng *rand.Rand) NodeID {
+	return NodeID(rng.Intn(len(g.users)))
+}

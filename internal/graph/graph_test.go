@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func paperWindow(t *testing.T) *stream.Stream {
+	t.Helper()
+	st := stream.New()
+	actions := []stream.Action{
+		{ID: 1, User: 1, Parent: stream.NoParent},
+		{ID: 2, User: 2, Parent: 1},
+		{ID: 3, User: 3, Parent: stream.NoParent},
+		{ID: 4, User: 3, Parent: 1},
+		{ID: 5, User: 4, Parent: 3},
+		{ID: 6, User: 1, Parent: 3},
+		{ID: 7, User: 5, Parent: 3},
+		{ID: 8, User: 4, Parent: 7},
+	}
+	for _, a := range actions {
+		if _, err := st.Ingest(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func outUsers(g *Graph, u stream.UserID) []stream.UserID {
+	n, ok := g.NodeOf(u)
+	if !ok {
+		return nil
+	}
+	var out []stream.UserID
+	for _, v := range g.Out(n) {
+		out = append(out, g.UserOf(v))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestFromWindowEdges(t *testing.T) {
+	g := FromWindow(paperWindow(t), 1)
+	// From Figure 1(b): I(u1)={u1,u2,u3}, I(u3)={u1,u3,u4,u5}, I(u5)={u4,u5};
+	// self-loops are dropped.
+	if got := outUsers(g, 1); !reflect.DeepEqual(got, []stream.UserID{2, 3}) {
+		t.Errorf("out(u1) = %v, want [2 3]", got)
+	}
+	if got := outUsers(g, 3); !reflect.DeepEqual(got, []stream.UserID{1, 4, 5}) {
+		t.Errorf("out(u3) = %v, want [1 4 5]", got)
+	}
+	if got := outUsers(g, 5); !reflect.DeepEqual(got, []stream.UserID{4}) {
+		t.Errorf("out(u5) = %v, want [4]", got)
+	}
+	if got := outUsers(g, 2); len(got) != 0 {
+		t.Errorf("out(u2) = %v, want empty", got)
+	}
+	if g.N() != 5 {
+		t.Errorf("N = %d, want 5 (u6 is outside the window)", g.N())
+	}
+	if g.Edges() != 6 {
+		t.Errorf("edges = %d, want 6", g.Edges())
+	}
+}
+
+func TestWCProbabilities(t *testing.T) {
+	g := FromWindow(paperWindow(t), 1)
+	// indeg(u4) = 2 (from u3 and u5) -> p = 1/2.
+	n4, _ := g.NodeOf(4)
+	if got := g.Prob(n4); got != 0.5 {
+		t.Errorf("p(·->u4) = %v, want 0.5", got)
+	}
+	// indeg(u2) = 1 -> p = 1.
+	n2, _ := g.NodeOf(2)
+	if got := g.Prob(n2); got != 1 {
+		t.Errorf("p(·->u2) = %v, want 1", got)
+	}
+	// A node with no in-edges has probability 0.
+	g2 := Build([][2]stream.UserID{{1, 2}})
+	n1, _ := g2.NodeOf(1)
+	if got := g2.Prob(n1); got != 0 {
+		t.Errorf("p into source = %v, want 0", got)
+	}
+}
+
+func TestBuildDeduplicatesAndDropsSelfLoops(t *testing.T) {
+	g := Build([][2]stream.UserID{{1, 2}, {1, 2}, {3, 3}, {2, 1}})
+	if g.Edges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.Edges())
+	}
+	if g.N() != 3 {
+		t.Fatalf("N = %d, want 3", g.N())
+	}
+}
+
+func TestInOutConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var edges [][2]stream.UserID
+	for i := 0; i < 500; i++ {
+		edges = append(edges, [2]stream.UserID{stream.UserID(rng.Intn(50)), stream.UserID(rng.Intn(50))})
+	}
+	g := Build(edges)
+	outCount, inCount := 0, 0
+	for n := 0; n < g.N(); n++ {
+		outCount += len(g.Out(NodeID(n)))
+		inCount += len(g.In(NodeID(n)))
+	}
+	if outCount != inCount || outCount != g.Edges() {
+		t.Fatalf("out=%d in=%d edges=%d", outCount, inCount, g.Edges())
+	}
+	// Every out edge appears as an in edge.
+	for n := 0; n < g.N(); n++ {
+		for _, v := range g.Out(NodeID(n)) {
+			found := false
+			for _, u := range g.In(v) {
+				if u == NodeID(n) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d missing from in-list", n, v)
+			}
+		}
+	}
+}
+
+func TestNodesOfDropsUnknown(t *testing.T) {
+	g := Build([][2]stream.UserID{{1, 2}})
+	got := g.NodesOf([]stream.UserID{1, 99, 2})
+	if len(got) != 2 {
+		t.Fatalf("NodesOf = %v, want 2 nodes", got)
+	}
+}
+
+func TestUserNodeRoundTrip(t *testing.T) {
+	g := FromWindow(paperWindow(t), 1)
+	for u := stream.UserID(1); u <= 5; u++ {
+		n, ok := g.NodeOf(u)
+		if !ok {
+			t.Fatalf("user %d missing", u)
+		}
+		if g.UserOf(n) != u {
+			t.Fatalf("round trip failed for %d", u)
+		}
+	}
+	if _, ok := g.NodeOf(6); ok {
+		t.Fatal("u6 must not be present")
+	}
+}
+
+func TestFromWindowSuffix(t *testing.T) {
+	// Suffix start 5 (actions a5..a8): edges u3->{u4,u1,u5}, u5->u4.
+	g := FromWindow(paperWindow(t), 5)
+	if got := outUsers(g, 3); !reflect.DeepEqual(got, []stream.UserID{1, 4, 5}) {
+		t.Errorf("out(u3) = %v, want [1 4 5]", got)
+	}
+	if got := outUsers(g, 1); len(got) != 0 {
+		t.Errorf("out(u1) = %v, want empty in suffix", got)
+	}
+}
+
+func TestRandomNodeInRange(t *testing.T) {
+	g := Build([][2]stream.UserID{{1, 2}, {2, 3}})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		n := g.RandomNode(rng)
+		if n < 0 || int(n) >= g.N() {
+			t.Fatalf("node %d out of range", n)
+		}
+	}
+}

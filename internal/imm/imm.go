@@ -1,0 +1,210 @@
+// Package imm implements IMM (Tang, Shi, Xiao — SIGMOD 2015), the
+// state-of-the-art static influence maximization algorithm used as the
+// quality baseline in the paper's evaluation (§6.1, parameters ε = 0.5,
+// ℓ = 1). IMM samples reverse-reachable (RR) sets under the weighted
+// cascade model, with a martingale-based stopping rule that lower-bounds
+// OPT, then greedily selects k nodes covering the most RR sets, yielding a
+// (1 − 1/e − ε) approximation with high probability.
+package imm
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// Options tunes IMM. Zero values select the paper's settings.
+type Options struct {
+	// Epsilon is the approximation slack (default 0.5, as in §6.1).
+	Epsilon float64
+	// Ell controls the 1 − 1/n^ℓ success probability (default 1).
+	Ell float64
+	// Seed makes sampling reproducible.
+	Seed int64
+	// MaxRR caps the number of RR sets as a safety valve for very small or
+	// degenerate graphs (default 1<<20).
+	MaxRR int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.5
+	}
+	if o.Ell == 0 {
+		o.Ell = 1
+	}
+	if o.MaxRR == 0 {
+		o.MaxRR = 1 << 20
+	}
+	return o
+}
+
+// sampler incrementally generates RR sets and maintains the inverted
+// node → RR-set index used by greedy node selection.
+type sampler struct {
+	g      *graph.Graph
+	rng    *rand.Rand
+	sets   [][]graph.NodeID
+	byNode [][]int32
+	mark   []uint32
+	gen    uint32
+	queue  []graph.NodeID
+}
+
+func newSampler(g *graph.Graph, rng *rand.Rand) *sampler {
+	return &sampler{g: g, rng: rng, mark: make([]uint32, g.N()), byNode: make([][]int32, g.N())}
+}
+
+// generate extends the pool to at least want RR sets.
+func (s *sampler) generate(want int) {
+	for len(s.sets) < want {
+		rr := s.sample()
+		idx := int32(len(s.sets))
+		s.sets = append(s.sets, rr)
+		for _, n := range rr {
+			s.byNode[n] = append(s.byNode[n], idx)
+		}
+	}
+}
+
+// sample draws one RR set: a uniform random root, then a reverse BFS where
+// each in-edge (x → w) is live with the WC probability 1/indeg(w).
+func (s *sampler) sample() []graph.NodeID {
+	root := s.g.RandomNode(s.rng)
+	s.gen++
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, root)
+	s.mark[root] = s.gen
+	for i := 0; i < len(s.queue); i++ {
+		w := s.queue[i]
+		in := s.g.In(w)
+		if len(in) == 0 {
+			continue
+		}
+		p := 1 / float64(len(in))
+		for _, x := range in {
+			if s.mark[x] == s.gen {
+				continue
+			}
+			if s.rng.Float64() < p {
+				s.mark[x] = s.gen
+				s.queue = append(s.queue, x)
+			}
+		}
+	}
+	rr := make([]graph.NodeID, len(s.queue))
+	copy(rr, s.queue)
+	return rr
+}
+
+// nodeSelection greedily picks at most k nodes maximizing RR-set coverage
+// and returns them with the covered fraction F_R(S).
+func (s *sampler) nodeSelection(k int) ([]graph.NodeID, float64) {
+	if len(s.sets) == 0 {
+		return nil, 0
+	}
+	counts := make([]int, s.g.N())
+	for n := range s.byNode {
+		counts[n] = len(s.byNode[n])
+	}
+	coveredSet := make([]bool, len(s.sets))
+	covered := 0
+	var seeds []graph.NodeID
+	for len(seeds) < k {
+		best, bestC := graph.NodeID(-1), 0
+		for n, c := range counts {
+			if c > bestC {
+				best, bestC = graph.NodeID(n), c
+			}
+		}
+		if best < 0 {
+			break
+		}
+		seeds = append(seeds, best)
+		for _, idx := range s.byNode[best] {
+			if coveredSet[idx] {
+				continue
+			}
+			coveredSet[idx] = true
+			covered++
+			for _, n := range s.sets[idx] {
+				counts[n]--
+			}
+		}
+	}
+	return seeds, float64(covered) / float64(len(s.sets))
+}
+
+// logChoose returns ln C(n, k).
+func logChoose(n, k int) float64 {
+	a, _ := math.Lgamma(float64(n + 1))
+	b, _ := math.Lgamma(float64(k + 1))
+	c, _ := math.Lgamma(float64(n - k + 1))
+	return a - b - c
+}
+
+// Select runs IMM on g and returns up to k seed users together with the
+// estimated expected spread n·F_R(S).
+func Select(g *graph.Graph, k int, opt Options) ([]stream.UserID, float64) {
+	opt = opt.withDefaults()
+	n := g.N()
+	if n == 0 || k <= 0 {
+		return nil, 0
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	s := newSampler(g, rng)
+
+	eps, ell := opt.Epsilon, opt.Ell
+	// ℓ is inflated so the union bound over both phases still yields
+	// 1 − 1/n^ℓ (IMM §4.2).
+	ell = ell * (1 + math.Ln2/math.Log(float64(n)))
+	lnN := math.Log(float64(n))
+	logCnk := logChoose(n, k)
+
+	// Phase 1: estimate a lower bound LB of OPT (IMM Algorithm 2).
+	epsPrime := math.Sqrt2 * eps
+	logLog := math.Log(math.Max(math.Log2(float64(n)), 1))
+	lambdaPrime := (2 + 2.0/3.0*epsPrime) * (logCnk + ell*lnN + logLog) * float64(n) / (epsPrime * epsPrime)
+	lb := 1.0
+	for i := 1; float64(int64(1)<<uint(i)) <= float64(n); i++ {
+		x := float64(n) / float64(int64(1)<<uint(i))
+		theta := int(math.Ceil(lambdaPrime / x))
+		if theta > opt.MaxRR {
+			theta = opt.MaxRR
+		}
+		s.generate(theta)
+		_, frac := s.nodeSelection(k)
+		if float64(n)*frac >= (1+epsPrime)*x {
+			lb = float64(n) * frac / (1 + epsPrime)
+			break
+		}
+		if theta >= opt.MaxRR {
+			break
+		}
+	}
+
+	// Phase 2: sample to the final θ = λ*/LB and select.
+	alpha := math.Sqrt(ell*lnN + math.Ln2)
+	beta := math.Sqrt((1 - 1/math.E) * (logCnk + ell*lnN + math.Ln2))
+	lambdaStar := 2 * float64(n) * math.Pow((1-1/math.E)*alpha+beta, 2) / (eps * eps)
+	theta := int(math.Ceil(lambdaStar / lb))
+	if theta > opt.MaxRR {
+		theta = opt.MaxRR
+	}
+	if theta < 1 {
+		theta = 1
+	}
+	s.generate(theta)
+	nodes, frac := s.nodeSelection(k)
+
+	users := make([]stream.UserID, len(nodes))
+	for i, nd := range nodes {
+		users[i] = g.UserOf(nd)
+	}
+	return users, float64(n) * frac
+}

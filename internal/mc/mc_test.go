@@ -1,0 +1,128 @@
+package mc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/stream"
+)
+
+// line builds a path graph 1 -> 2 -> ... -> n.
+func line(n int) *graph.Graph {
+	var edges [][2]stream.UserID
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]stream.UserID{stream.UserID(i), stream.UserID(i + 1)})
+	}
+	return graph.Build(edges)
+}
+
+func TestDeterministicChainSpread(t *testing.T) {
+	// Every node on the path has indegree 1, so WC probability 1: a seed at
+	// the head activates everything, deterministically.
+	g := line(10)
+	got := Spread(g, []stream.UserID{1}, 50, 1)
+	if got != 10 {
+		t.Fatalf("spread = %v, want 10", got)
+	}
+	// Seeding the middle reaches only the tail half.
+	got = Spread(g, []stream.UserID{6}, 50, 1)
+	if got != 5 {
+		t.Fatalf("spread from middle = %v, want 5", got)
+	}
+}
+
+func TestSpreadOfEmptyInputs(t *testing.T) {
+	g := line(5)
+	if got := Spread(g, nil, 100, 1); got != 0 {
+		t.Fatalf("no seeds: %v", got)
+	}
+	if got := Spread(g, []stream.UserID{1}, 0, 1); got != 0 {
+		t.Fatalf("no rounds: %v", got)
+	}
+	if got := Spread(g, []stream.UserID{99}, 10, 1); got != 0 {
+		t.Fatalf("unknown seed: %v", got)
+	}
+}
+
+func TestStarSpreadMatchesAnalytic(t *testing.T) {
+	// Star: center -> 20 leaves, each leaf also has a second in-edge from a
+	// dummy, so p = 1/2 per leaf. E[spread(center)] = 1 + 20·(1/2) = 11.
+	var edges [][2]stream.UserID
+	for i := 1; i <= 20; i++ {
+		edges = append(edges, [2]stream.UserID{100, stream.UserID(i)})
+		edges = append(edges, [2]stream.UserID{200, stream.UserID(i)})
+	}
+	g := graph.Build(edges)
+	got := Spread(g, []stream.UserID{100}, 60000, 7)
+	if math.Abs(got-11) > 0.25 {
+		t.Fatalf("star spread = %v, want ≈ 11", got)
+	}
+}
+
+func TestSeedsCountOnceEach(t *testing.T) {
+	g := line(4)
+	// All nodes seeded: spread is exactly n regardless of randomness.
+	got := Spread(g, []stream.UserID{1, 2, 3, 4}, 10, 3)
+	if got != 4 {
+		t.Fatalf("full seeding spread = %v, want 4", got)
+	}
+	// Duplicate seeds must not double count.
+	got = Spread(g, []stream.UserID{4, 4, 4}, 10, 3)
+	if got != 1 {
+		t.Fatalf("duplicate seeds spread = %v, want 1", got)
+	}
+}
+
+func TestSpreadMonotoneInSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var edges [][2]stream.UserID
+	for i := 0; i < 400; i++ {
+		edges = append(edges, [2]stream.UserID{stream.UserID(rng.Intn(60)), stream.UserID(rng.Intn(60))})
+	}
+	g := graph.Build(edges)
+	s1 := Spread(g, []stream.UserID{1}, 4000, 11)
+	s2 := Spread(g, []stream.UserID{1, 2, 3}, 4000, 11)
+	if s2 < s1-0.5 {
+		t.Fatalf("spread not monotone: %v -> %v", s1, s2)
+	}
+}
+
+func TestSpreadReproducible(t *testing.T) {
+	g := line(30)
+	a := Spread(g, []stream.UserID{5, 9}, 500, 42)
+	b := Spread(g, []stream.UserID{5, 9}, 500, 42)
+	if a != b {
+		t.Fatalf("same seed different results: %v vs %v", a, b)
+	}
+}
+
+func TestEstimatorOnceBounds(t *testing.T) {
+	g := line(8)
+	est := NewEstimator(g, rand.New(rand.NewSource(2)))
+	n1, _ := g.NodeOf(3)
+	for i := 0; i < 50; i++ {
+		got := est.Once([]graph.NodeID{n1})
+		if got < 1 || got > 8 {
+			t.Fatalf("Once = %d out of bounds", got)
+		}
+	}
+	if est.Estimate(nil, 10) != 0 {
+		t.Fatal("Estimate with no seeds must be 0")
+	}
+}
+
+func BenchmarkSpread(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var edges [][2]stream.UserID
+	for i := 0; i < 20000; i++ {
+		edges = append(edges, [2]stream.UserID{stream.UserID(rng.Intn(3000)), stream.UserID(rng.Intn(3000))})
+	}
+	g := graph.Build(edges)
+	seeds := []stream.UserID{1, 2, 3, 4, 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Spread(g, seeds, 100, int64(i))
+	}
+}

@@ -1,0 +1,105 @@
+package oracle
+
+import (
+	"repro/internal/stream"
+	"repro/internal/submod"
+)
+
+// Exact is the optimal checkpoint oracle of paper Definition 3: it maintains
+// the latest influence set of every user seen and answers with the exact
+// optimum over all subsets of at most k users, found by enumeration.
+//
+// It exists to reproduce the paper's worked examples (Figures 2–4) and as
+// ground truth in tests and ablations; its per-query cost is exponential in
+// k and it must not be used beyond toy instances. Like the optimal oracle in
+// Lemma 1 it is monotone and subadditive.
+type Exact struct {
+	k        int
+	w        submod.Weights
+	sets     map[stream.UserID][]stream.UserID
+	users    []stream.UserID
+	elements int64
+
+	dirty bool
+	val   float64
+	seeds []stream.UserID
+}
+
+// NewExact returns an exact oracle for cardinality constraint k.
+func NewExact(k int, w submod.Weights) *Exact {
+	if k < 1 {
+		panic("oracle: k must be >= 1")
+	}
+	return &Exact{k: k, w: w, sets: map[stream.UserID][]stream.UserID{}, dirty: true}
+}
+
+// ExactFactory adapts NewExact to the Factory signature.
+func ExactFactory(w submod.Weights) Factory {
+	return func(k int) Oracle { return NewExact(k, w) }
+}
+
+// Process implements Oracle.
+func (x *Exact) Process(e Element) {
+	x.elements++
+	var set []stream.UserID
+	e.ForEach(func(v stream.UserID) bool { set = append(set, v); return true })
+	if len(set) == 0 {
+		return
+	}
+	if _, seen := x.sets[e.User]; !seen {
+		x.users = append(x.users, e.User)
+	}
+	x.sets[e.User] = set
+	x.dirty = true
+}
+
+func (x *Exact) solve() {
+	if !x.dirty {
+		return
+	}
+	x.dirty = false
+	x.val = 0
+	x.seeds = x.seeds[:0]
+	cov := submod.NewCoverage(x.w)
+	chosen := make([]stream.UserID, 0, x.k)
+	var rec func(start int)
+	rec = func(start int) {
+		if v := cov.Value(); v > x.val {
+			x.val = v
+			x.seeds = append(x.seeds[:0], chosen...)
+		}
+		if len(chosen) == x.k {
+			return
+		}
+		for i := start; i < len(x.users); i++ {
+			u := x.users[i]
+			// Branch with u added; coverage is rebuilt on unwind (simplest
+			// correct approach for a test-scale oracle).
+			saved := cov
+			cov = saved.Clone()
+			for _, v := range x.sets[u] {
+				cov.Add(v)
+			}
+			chosen = append(chosen, u)
+			rec(i + 1)
+			chosen = chosen[:len(chosen)-1]
+			cov = saved
+		}
+	}
+	rec(0)
+}
+
+// Value implements Oracle.
+func (x *Exact) Value() float64 {
+	x.solve()
+	return x.val
+}
+
+// Seeds implements Oracle.
+func (x *Exact) Seeds() []stream.UserID {
+	x.solve()
+	return x.seeds
+}
+
+// Stats implements Oracle.
+func (x *Exact) Stats() Stats { return Stats{Instances: 1, Elements: x.elements} }

@@ -1,0 +1,107 @@
+package oracle
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/submod"
+)
+
+func TestExactSolvesSmallInstanceOptimally(t *testing.T) {
+	o := NewExact(2, nil)
+	o.Process(SliceElement(1, []stream.UserID{10, 11, 12}))
+	o.Process(SliceElement(2, []stream.UserID{12, 13}))
+	o.Process(SliceElement(3, []stream.UserID{14}))
+	// Best pair: {1, 2} = {10,11,12,13} -> 4 (vs {1,3} -> 4 too; value 4).
+	if o.Value() != 4 {
+		t.Fatalf("value = %v, want 4", o.Value())
+	}
+	seeds := append([]stream.UserID(nil), o.Seeds()...)
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	if len(seeds) != 2 || seeds[0] != 1 {
+		t.Fatalf("seeds = %v, want {1, ...}", seeds)
+	}
+}
+
+func TestExactMatchesEnumerationOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 20; trial++ {
+		inst := randomInstance(rng, 8, 20, 3)
+		o := NewExact(inst.k, nil)
+		inst.feed(rand.New(rand.NewSource(int64(trial))), o)
+		if want := inst.optimal(nil); o.Value() != want {
+			t.Fatalf("trial %d: exact oracle %v != enumeration %v", trial, o.Value(), want)
+		}
+	}
+}
+
+func TestExactUpdatesLatestSet(t *testing.T) {
+	o := NewExact(1, nil)
+	o.Process(SliceElement(1, []stream.UserID{10}))
+	if o.Value() != 1 {
+		t.Fatalf("value = %v", o.Value())
+	}
+	o.Process(SliceElement(1, []stream.UserID{10, 11, 12}))
+	if o.Value() != 3 {
+		t.Fatalf("value after growth = %v, want 3", o.Value())
+	}
+	if got := o.Seeds(); !reflect.DeepEqual(got, []stream.UserID{1}) {
+		t.Fatalf("seeds = %v", got)
+	}
+}
+
+func TestExactWeighted(t *testing.T) {
+	w := submod.Table{W: map[stream.UserID]float64{99: 10}, Default: 1}
+	o := NewExact(1, w)
+	o.Process(SliceElement(1, []stream.UserID{1, 2}))
+	o.Process(SliceElement(2, []stream.UserID{99}))
+	if o.Value() != 10 || o.Seeds()[0] != 2 {
+		t.Fatalf("weighted exact: value=%v seeds=%v", o.Value(), o.Seeds())
+	}
+}
+
+func TestExactIgnoresEmptyAndCountsStats(t *testing.T) {
+	o := NewExact(2, nil)
+	o.Process(SliceElement(1, nil))
+	if o.Value() != 0 || o.Seeds() != nil {
+		t.Fatal("empty element changed exact oracle state")
+	}
+	o.Process(SliceElement(1, []stream.UserID{5}))
+	st := o.Stats()
+	if st.Elements != 2 || st.Instances != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExactFactoryAndPanic(t *testing.T) {
+	f := ExactFactory(nil)
+	if f(1) == nil {
+		t.Fatal("factory returned nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewExact(0) must panic")
+		}
+	}()
+	NewExact(0, nil)
+}
+
+func TestExactMonotoneUnderStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	o := NewExact(2, nil)
+	cur := map[stream.UserID][]stream.UserID{}
+	last := 0.0
+	for i := 0; i < 100; i++ {
+		u := stream.UserID(rng.Intn(6))
+		cur[u] = append(cur[u], stream.UserID(rng.Intn(25)))
+		o.Process(SliceElement(u, dedup(cur[u])))
+		if v := o.Value(); v < last {
+			t.Fatalf("exact oracle not monotone: %v -> %v", last, v)
+		} else {
+			last = v
+		}
+	}
+}

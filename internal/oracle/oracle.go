@@ -1,0 +1,132 @@
+// Package oracle implements the append-only streaming submodular
+// optimization (SSO) algorithms that serve as checkpoint oracles in the IC
+// and SIC frameworks — the four candidates of the paper's Table 2:
+//
+//	SieveStreaming   (Badanidiyuru et al., KDD'14)  1/2−β   general
+//	ThresholdStream  (Kumar et al., TOPC'15)        1/2−β   general
+//	BlogWatch        (Saha & Getoor, SDM'09)        1/4     coverage, O(k)
+//	MkC              (Ausiello et al., DAM'12)      1/4     coverage, O(k log k)
+//
+// Elements arrive through the Set-Stream Mapping (paper §4.2): whenever an
+// action updates user u's influence set, the checkpoint receives the pair
+// (u, I_s(u)) as a fresh set-stream element. The candidate solution is
+// adapted to store users rather than sets, so re-seeing a user already in
+// the solution merges coverage instead of consuming a seed slot — exactly
+// the adaptation Theorem 2 analyses.
+package oracle
+
+import (
+	"repro/internal/stream"
+	"repro/internal/submod"
+)
+
+// Element is one mapped set-stream element: user User together with its
+// current influence set for the oracle's suffix. ForEach must iterate the
+// distinct users of the set; it may be invoked multiple times per Process
+// call and must be deterministic within the call.
+//
+// Latest and Size are optional fast-path metadata the checkpoint frameworks
+// provide. Latest, when LatestValid, is the only member possibly added since
+// this user's previous element on the same oracle (the current action's
+// performer): within one checkpoint's append-only suffix, an influence set
+// changes exactly when an action with this user on its contributor chain
+// arrives, and every such action is delivered as an element. This lets
+// oracles update an already-admitted seed's coverage in O(1) instead of
+// re-merging the whole set. Size, when > 0, is the number of distinct
+// members, sparing a scan when the objective is cardinality; leave it 0
+// (the zero value) when unknown.
+type Element struct {
+	User        stream.UserID
+	Latest      stream.UserID
+	LatestValid bool
+	Size        int
+	ForEach     func(visit func(stream.UserID) bool)
+}
+
+// SliceElement builds an Element from a materialized influence set (used by
+// tests and the offline reference implementations).
+func SliceElement(u stream.UserID, set []stream.UserID) Element {
+	return Element{User: u, Size: len(set), ForEach: func(visit func(stream.UserID) bool) {
+		for _, v := range set {
+			if !visit(v) {
+				return
+			}
+		}
+	}}
+}
+
+// Stats exposes internal counters of an oracle, reported by the experiment
+// harness (e.g. the number of live SieveStreaming instances behind Fig 7's
+// throughput trend).
+type Stats struct {
+	// Instances is the number of live candidate solutions (1 for swap
+	// oracles, O(log k / β) for sieve-style oracles).
+	Instances int
+	// Elements is the number of set-stream elements processed.
+	Elements int64
+}
+
+// Oracle is an append-only streaming submodular maximizer under a
+// cardinality constraint: the checkpoint oracle abstraction of paper §4.2.
+// Implementations must be monotone: Value never decreases as elements are
+// appended. This monotonicity is what SIC's analysis (Lemma 2) relies on.
+type Oracle interface {
+	// Process observes one set-stream element.
+	Process(e Element)
+	// Value returns the objective value f of the current candidate solution.
+	Value() float64
+	// Seeds returns the current candidate solution of at most k users. The
+	// returned slice must not be modified by the caller.
+	Seeds() []stream.UserID
+	// Stats returns internal counters.
+	Stats() Stats
+}
+
+// Factory creates a fresh oracle for a cardinality constraint k. The IC and
+// SIC frameworks call it once per checkpoint.
+type Factory func(k int) Oracle
+
+// Kind names one of the implemented oracle algorithms.
+type Kind int
+
+// The oracle algorithms of Table 2.
+const (
+	SieveStreaming Kind = iota
+	ThresholdStream
+	BlogWatch
+	MkC
+)
+
+// String returns the paper's name for the oracle.
+func (k Kind) String() string {
+	switch k {
+	case SieveStreaming:
+		return "SieveStreaming"
+	case ThresholdStream:
+		return "ThresholdStream"
+	case BlogWatch:
+		return "BlogWatch"
+	case MkC:
+		return "MkC"
+	default:
+		return "unknown"
+	}
+}
+
+// NewFactory returns a Factory for the given algorithm. beta is the
+// approximation/efficiency knob of the sieve-style oracles (ignored by the
+// swap oracles), w the influence weights (nil = cardinality).
+func NewFactory(kind Kind, beta float64, w submod.Weights) Factory {
+	switch kind {
+	case SieveStreaming:
+		return func(k int) Oracle { return NewSieve(k, beta, w) }
+	case ThresholdStream:
+		return func(k int) Oracle { return NewThreshold(k, beta, w) }
+	case BlogWatch:
+		return func(k int) Oracle { return NewSwap(k, w, false) }
+	case MkC:
+		return func(k int) Oracle { return NewSwap(k, w, true) }
+	default:
+		panic("oracle: unknown kind")
+	}
+}

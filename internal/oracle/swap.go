@@ -1,0 +1,163 @@
+package oracle
+
+import (
+	"repro/internal/stream"
+	"repro/internal/submod"
+)
+
+// swapSeed is one admitted element of a swap oracle: the user together with
+// the snapshot of its influence set at admission time. Later growth of the
+// same user's influence set arrives as a fresh element and can replace the
+// stale snapshot through the ordinary swap rule, matching the set-stream
+// model where every update is an independent immutable set.
+type swapSeed struct {
+	user stream.UserID
+	set  []stream.UserID
+}
+
+// Swap implements the two swap-based online Maximum k-Coverage oracles of
+// Table 2, both with a 1/4 approximation on coverage objectives:
+//
+//   - BlogWatch (Saha & Getoor): O(k) per element — only the seed whose
+//     snapshot has the smallest individual weight is considered for
+//     eviction.
+//   - MkC (Ausiello et al.): O(k log k)-flavoured — every seed is considered
+//     and the most profitable swap is taken.
+//
+// A swap is committed only when it improves the solution value by at least
+// value/(2k), the improvement margin that yields the constant-factor bound
+// for online k-coverage; this also makes the oracle value monotone, as
+// required by SIC's Lemma 2.
+type Swap struct {
+	k     int
+	w     submod.Weights
+	full  bool // true = MkC (best swap), false = BlogWatch (min-weight seed)
+	seeds []swapSeed
+
+	value    float64
+	seedIDs  []stream.UserID
+	dirtyIDs bool
+
+	elements int64
+	buf      []stream.UserID
+
+	scratch *submod.Coverage
+}
+
+// NewSwap returns a swap oracle; full selects the MkC variant.
+func NewSwap(k int, w submod.Weights, full bool) *Swap {
+	if k < 1 {
+		panic("oracle: k must be >= 1")
+	}
+	return &Swap{k: k, w: w, full: full, scratch: submod.NewCoverage(w)}
+}
+
+func (s *Swap) weight(v stream.UserID) float64 {
+	if s.w == nil {
+		return 1
+	}
+	return s.w.Weight(v)
+}
+
+// unionValue computes f of the union of all seed snapshots, with the seed at
+// index skip removed and extra (possibly nil) added.
+func (s *Swap) unionValue(skip int, extra []stream.UserID) float64 {
+	s.scratch.Reset()
+	for i, sd := range s.seeds {
+		if i == skip {
+			continue
+		}
+		for _, v := range sd.set {
+			s.scratch.Add(v)
+		}
+	}
+	for _, v := range extra {
+		s.scratch.Add(v)
+	}
+	return s.scratch.Value()
+}
+
+// Process implements Oracle.
+func (s *Swap) Process(e Element) {
+	s.elements++
+	s.buf = s.buf[:0]
+	e.ForEach(func(v stream.UserID) bool {
+		s.buf = append(s.buf, v)
+		return true
+	})
+	if len(s.buf) == 0 {
+		return
+	}
+
+	// A user already in the solution replaces its own snapshot in place:
+	// the new influence set is a superset in the append-only suffix, so the
+	// value cannot decrease and no seed budget is consumed.
+	for i := range s.seeds {
+		if s.seeds[i].user == e.User {
+			s.seeds[i].set = append(s.seeds[i].set[:0], s.buf...)
+			s.value = s.unionValue(-1, nil)
+			s.dirtyIDs = true
+			return
+		}
+	}
+
+	if len(s.seeds) < s.k {
+		set := make([]stream.UserID, len(s.buf))
+		copy(set, s.buf)
+		s.seeds = append(s.seeds, swapSeed{user: e.User, set: set})
+		s.value = s.unionValue(-1, nil)
+		s.dirtyIDs = true
+		return
+	}
+
+	// Solution full: look for a profitable swap.
+	margin := s.value / (2 * float64(s.k))
+	bestIdx, bestVal := -1, s.value
+	if s.full {
+		for i := range s.seeds {
+			if v := s.unionValue(i, s.buf); v > bestVal {
+				bestIdx, bestVal = i, v
+			}
+		}
+	} else {
+		// BlogWatch: only the min-weight snapshot is a candidate victim.
+		minIdx, minW := -1, 0.0
+		for i, sd := range s.seeds {
+			w := 0.0
+			for _, v := range sd.set {
+				w += s.weight(v)
+			}
+			if minIdx < 0 || w < minW {
+				minIdx, minW = i, w
+			}
+		}
+		if v := s.unionValue(minIdx, s.buf); v > bestVal {
+			bestIdx, bestVal = minIdx, v
+		}
+	}
+	if bestIdx >= 0 && bestVal-s.value >= margin {
+		set := make([]stream.UserID, len(s.buf))
+		copy(set, s.buf)
+		s.seeds[bestIdx] = swapSeed{user: e.User, set: set}
+		s.value = bestVal
+		s.dirtyIDs = true
+	}
+}
+
+// Value implements Oracle.
+func (s *Swap) Value() float64 { return s.value }
+
+// Seeds implements Oracle.
+func (s *Swap) Seeds() []stream.UserID {
+	if s.dirtyIDs {
+		s.seedIDs = s.seedIDs[:0]
+		for _, sd := range s.seeds {
+			s.seedIDs = append(s.seedIDs, sd.user)
+		}
+		s.dirtyIDs = false
+	}
+	return s.seedIDs
+}
+
+// Stats implements Oracle.
+func (s *Swap) Stats() Stats { return Stats{Instances: 1, Elements: s.elements} }

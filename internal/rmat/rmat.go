@@ -1,0 +1,74 @@
+// Package rmat implements the R-MAT recursive graph generator (Chakrabarti,
+// Zhan, Faloutsos — SDM 2004), used by the paper's synthetic datasets to
+// produce power-law user graphs of 1–5 million users (§6.1).
+package rmat
+
+import (
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// Params are the four quadrant probabilities of the recursive partition;
+// they must be non-negative and sum to 1.
+type Params struct {
+	A, B, C, D float64
+}
+
+// Default is the widely used skew (a=0.57, b=0.19, c=0.19, d=0.05) that
+// yields power-law in/out degree distributions.
+var Default = Params{A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+
+// Generate samples m directed edges over n users. Self-loops and duplicate
+// endpoints are allowed (consumers deduplicate if needed); endpoints outside
+// [0, n) are resampled, so any n works, not only powers of two.
+func Generate(n, m int, p Params, seed int64) [][2]stream.UserID {
+	if n <= 0 || m <= 0 {
+		return nil
+	}
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]stream.UserID, 0, m)
+	for len(edges) < m {
+		u, v := sample(rng, levels, p)
+		if u >= n || v >= n {
+			continue
+		}
+		edges = append(edges, [2]stream.UserID{stream.UserID(u), stream.UserID(v)})
+	}
+	return edges
+}
+
+// sample draws one edge by descending the 2^levels × 2^levels adjacency
+// matrix, picking a quadrant per level.
+func sample(rng *rand.Rand, levels int, p Params) (int, int) {
+	u, v := 0, 0
+	for l := 0; l < levels; l++ {
+		r := rng.Float64()
+		switch {
+		case r < p.A:
+			// top-left: nothing to add
+		case r < p.A+p.B:
+			v |= 1 << (levels - 1 - l)
+		case r < p.A+p.B+p.C:
+			u |= 1 << (levels - 1 - l)
+		default:
+			u |= 1 << (levels - 1 - l)
+			v |= 1 << (levels - 1 - l)
+		}
+	}
+	return u, v
+}
+
+// OutDegrees tallies out-degrees over n users for the given edge list; the
+// stream generators use them as power-law activity weights.
+func OutDegrees(n int, edges [][2]stream.UserID) []int {
+	deg := make([]int, n)
+	for _, e := range edges {
+		deg[e[0]]++
+	}
+	return deg
+}

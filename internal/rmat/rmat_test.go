@@ -1,0 +1,102 @@
+package rmat
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestGenerateCountsAndRange(t *testing.T) {
+	const n, m = 1000, 8000
+	edges := Generate(n, m, Default, 1)
+	if len(edges) != m {
+		t.Fatalf("edges = %d, want %d", len(edges), m)
+	}
+	for _, e := range edges {
+		if int(e[0]) >= n || int(e[1]) >= n {
+			t.Fatalf("endpoint out of range: %v", e)
+		}
+	}
+}
+
+func TestGenerateNonPowerOfTwo(t *testing.T) {
+	edges := Generate(777, 2000, Default, 2)
+	if len(edges) != 2000 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	for _, e := range edges {
+		if int(e[0]) >= 777 || int(e[1]) >= 777 {
+			t.Fatalf("endpoint out of range: %v", e)
+		}
+	}
+}
+
+func TestGenerateDegenerate(t *testing.T) {
+	if Generate(0, 10, Default, 1) != nil {
+		t.Error("n=0 must return nil")
+	}
+	if Generate(10, 0, Default, 1) != nil {
+		t.Error("m=0 must return nil")
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	a := Generate(100, 500, Default, 7)
+	b := Generate(100, 500, Default, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDegreeSkew: with the default parameters the out-degree distribution
+// must be heavily skewed — the defining property R-MAT exists for. We check
+// that the top 1% of users own a disproportionate share of edges and that
+// the maximum degree dwarfs the mean.
+func TestDegreeSkew(t *testing.T) {
+	const n, m = 4096, 40960
+	deg := OutDegrees(n, Generate(n, m, Default, 3))
+	sorted := append([]int(nil), deg...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	top := 0
+	for _, d := range sorted[:n/100] {
+		top += d
+	}
+	if share := float64(top) / float64(m); share < 0.10 {
+		t.Fatalf("top 1%% own %.1f%% of edges, want >= 10%% (no skew)", 100*share)
+	}
+	mean := float64(m) / float64(n)
+	if float64(sorted[0]) < 5*mean {
+		t.Fatalf("max degree %d < 5x mean %.1f", sorted[0], mean)
+	}
+}
+
+// TestUniformParamsNoSkew sanity-checks the generator logic by flattening
+// the quadrant probabilities: degrees should then concentrate near the mean.
+func TestUniformParamsNoSkew(t *testing.T) {
+	const n, m = 4096, 40960
+	uniform := Params{A: 0.25, B: 0.25, C: 0.25, D: 0.25}
+	deg := OutDegrees(n, Generate(n, m, uniform, 3))
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	mean := float64(m) / float64(n)
+	if float64(max) > 6*mean {
+		t.Fatalf("uniform params produced max degree %d >> mean %.1f", max, mean)
+	}
+}
+
+func TestOutDegreesSum(t *testing.T) {
+	edges := Generate(128, 1000, Default, 9)
+	deg := OutDegrees(128, edges)
+	sum := 0
+	for _, d := range deg {
+		sum += d
+	}
+	if sum != 1000 {
+		t.Fatalf("degree sum = %d, want 1000", sum)
+	}
+}

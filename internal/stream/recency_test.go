@@ -1,0 +1,126 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestInfluenceRecencyOrderAndContent(t *testing.T) {
+	s := New()
+	ingestAll(t, s, paperStream()[:8])
+	// I_1(u3) with recency: a8 (t=8) adds u4, a7 (t=7) adds u5, a6 adds u1,
+	// a5 adds u4 (older), a4/a3 add u3.
+	got := s.InfluenceRecency(3, 1)
+	want := []Contrib{{4, 8}, {5, 7}, {1, 6}, {3, 4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recency list = %v, want %v", got, want)
+	}
+}
+
+func TestInfluenceRecencyUnknownUser(t *testing.T) {
+	s := New()
+	if got := s.InfluenceRecency(42, 0); got != nil {
+		t.Fatalf("unknown user list = %v", got)
+	}
+}
+
+func TestPrefixFor(t *testing.T) {
+	list := []Contrib{{1, 10}, {2, 7}, {3, 7}, {4, 2}}
+	cases := []struct {
+		start ActionID
+		n     int
+	}{
+		{0, 4}, {2, 4}, {3, 3}, {7, 3}, {8, 1}, {10, 1}, {11, 0},
+	}
+	for _, c := range cases {
+		if got := len(PrefixFor(list, c.start)); got != c.n {
+			t.Errorf("PrefixFor(start=%d) = %d entries, want %d", c.start, got, c.n)
+		}
+	}
+	if got := PrefixFor(nil, 5); len(got) != 0 {
+		t.Errorf("PrefixFor(nil) = %v", got)
+	}
+}
+
+// TestPrefixConsistentWithInfluence: for every user and start, the prefix
+// list must contain exactly the users Influence visits.
+func TestPrefixConsistentWithInfluence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		for i := 1; i <= 400; i++ {
+			a := Action{ID: ActionID(i), User: UserID(rng.Intn(20))}
+			if i > 1 && rng.Float64() < 0.7 {
+				a.Parent = ActionID(i - rng.Intn(min(i-1, 50)) - 1)
+			} else {
+				a.Parent = NoParent
+			}
+			if _, err := s.Ingest(a); err != nil {
+				return false
+			}
+		}
+		s.Advance(100)
+		for u := UserID(0); u < 20; u++ {
+			for _, start := range []ActionID{100, 250, 399} {
+				full := s.InfluenceRecency(u, 100)
+				pref := PrefixFor(full, start)
+				got := map[UserID]bool{}
+				for _, c := range pref {
+					got[c.V] = true
+				}
+				want := map[UserID]bool{}
+				s.Influence(u, start, func(v UserID) bool { want[v] = true; return true })
+				if !reflect.DeepEqual(got, want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGappyTimestamps(t *testing.T) {
+	// IDs are timestamps: gaps must behave like elapsed time.
+	s := New()
+	ingestAll(t, s, []Action{
+		{ID: 10, User: 1, Parent: NoParent},
+		{ID: 11, User: 2, Parent: 10},
+		{ID: 500, User: 3, Parent: 11}, // late reply to an old comment
+	})
+	if got := sortedSet(s, 1, 10); !reflect.DeepEqual(got, []UserID{1, 2, 3}) {
+		t.Fatalf("I(u1) = %v", got)
+	}
+	s.Advance(12) // only the late reply remains
+	if got := sortedSet(s, 1, 12); !reflect.DeepEqual(got, []UserID{3}) {
+		t.Fatalf("I_12(u1) = %v, want [3]", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("retained = %d, want 1", s.Len())
+	}
+}
+
+func TestContributorsOfUnknownAction(t *testing.T) {
+	s := New()
+	ingestAll(t, s, paperStream()[:3])
+	if got := s.Contributors(99, nil); got != nil {
+		t.Fatalf("unknown action contributors = %v", got)
+	}
+	// Appending to a non-nil buffer leaves it unchanged.
+	buf := []UserID{7}
+	if got := s.Contributors(99, buf); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("buffer mangled: %v", got)
+	}
+}
+
+func TestRetainedBytesEstimatePositive(t *testing.T) {
+	s := New()
+	ingestAll(t, s, paperStream())
+	if s.RetainedBytesEstimate() <= 0 {
+		t.Fatal("estimate must be positive for a non-empty stream")
+	}
+}

@@ -1,0 +1,416 @@
+package stream
+
+import (
+	"sort"
+)
+
+// record is the retained metadata of one action, kept for ancestor-chain
+// resolution. An action's record must outlive the action itself: at window
+// W_t the triggering action a' of a live action need not be in W_t anymore
+// (paper §3, Example 1), so records are reference counted. refs counts one
+// "liveness" reference while the action is newer than the retention horizon
+// plus one reference per retained child record.
+type record struct {
+	user   UserID
+	parent ActionID
+	refs   int32
+}
+
+// Contrib pairs an influenced user with the time of the most recent action
+// evidencing the influence.
+type Contrib struct {
+	V UserID
+	T ActionID
+}
+
+// userLog is the influence record of one influencer u: the distinct users v
+// that performed an action with u on its ancestor chain, ordered by the time
+// of their LATEST such action, newest first.
+//
+// This ordering makes every query a prefix: v ∈ I_s(u) exactly when v's
+// latest contribution time is >= s, so the influence set for suffix start s
+// is the maximal prefix with T >= s — and suffixes for later starts are
+// prefixes of it. The list is maintained incrementally by move-to-front on
+// each contribution (new actions always carry the globally newest time) and
+// pruned by truncating the tail as the retention horizon advances.
+type userLog struct {
+	list []Contrib
+}
+
+// touch records a contribution (v, t); t must be the newest time ever seen
+// (actions arrive in timestamp order). v moves to — or is inserted at — the
+// front. Cost is v's current recency rank; recently active users sit near
+// the front, so the common case is short.
+func (l *userLog) touch(v UserID, t ActionID) {
+	list := l.list
+	for i := range list {
+		if list[i].V == v {
+			copy(list[1:i+1], list[:i])
+			list[0] = Contrib{v, t}
+			return
+		}
+	}
+	l.list = append(l.list, Contrib{})
+	copy(l.list[1:], l.list)
+	l.list[0] = Contrib{v, t}
+}
+
+// prune truncates entries whose latest contribution predates horizon. A user
+// v dropped here cannot belong to any retained suffix: membership needs some
+// contribution >= s >= horizon, and the latest one is already older.
+func (l *userLog) prune(horizon ActionID) {
+	i := sort.Search(len(l.list), func(i int) bool { return l.list[i].T < horizon })
+	l.list = l.list[:i]
+}
+
+// prefix returns the influence set for suffix start s.
+func (l *userLog) prefix(start ActionID) []Contrib {
+	return PrefixFor(l.list, start)
+}
+
+// Delta describes the effect of ingesting one action: the set of users whose
+// influence sets grew (the action's user plus every distinct user on its
+// ancestor chain) and the chain depth. It is what the Set-Stream Mapping
+// (paper §4.2) feeds to each checkpoint oracle.
+type Delta struct {
+	// Action is the ingested action.
+	Action Action
+	// Contributors lists, without duplicates, the users whose influence set
+	// gained Action.User: Action.User itself and the users of all ancestor
+	// actions. The slice is owned by the Stream and valid until the next
+	// Ingest call.
+	Contributors []UserID
+	// Depth is the number of ancestors of the action in its diffusion tree
+	// (0 for a root action). Table 3 of the paper reports its average as
+	// "Avg. depth"; it is the d in the O(d·g·N) update cost of IC.
+	Depth int
+}
+
+// Stream ingests a social action stream in timestamp order and maintains the
+// diffusion index and per-user contribution logs needed to answer influence
+// set queries for any suffix start within the retention horizon.
+//
+// A Stream is not safe for concurrent use; wrap it in a mutex or confine it
+// to one goroutine (the intended use inside a Tracker).
+type Stream struct {
+	idx  map[ActionID]*record
+	logs map[UserID]*userLog
+
+	// window is a FIFO of retained actions (IDs >= horizon).
+	window  []Action
+	wstart  int // index of first live element of window
+	horizon ActionID
+	last    ActionID
+
+	// seen implements O(1) amortized deduplication for Contributors and
+	// Influence without clearing a map per call: an entry is "marked" when
+	// its stored generation equals gen.
+	seen map[UserID]uint64
+	gen  uint64
+
+	contribBuf []UserID
+	expireBuf  []UserID
+
+	// Cumulative statistics over all ingested actions (not only retained
+	// ones); used to reproduce Table 3.
+	totalActions  int64
+	totalDepth    int64
+	totalRespDist int64
+	respActions   int64
+	userSet       map[UserID]struct{}
+}
+
+// New returns an empty Stream.
+func New() *Stream {
+	return &Stream{
+		idx:     map[ActionID]*record{},
+		logs:    map[UserID]*userLog{},
+		horizon: 0,
+		last:    -1,
+		seen:    map[UserID]uint64{},
+		userSet: map[UserID]struct{}{},
+	}
+}
+
+// Last returns the ID of the most recently ingested action, or -1 if none.
+func (s *Stream) Last() ActionID { return s.last }
+
+// Horizon returns the oldest retained timestamp: queries with start >=
+// Horizon() are exact.
+func (s *Stream) Horizon() ActionID { return s.horizon }
+
+// Len returns the number of retained actions.
+func (s *Stream) Len() int { return len(s.window) - s.wstart }
+
+// mark returns true the first time it is called for u in the current
+// generation.
+func (s *Stream) mark(u UserID) bool {
+	if s.seen[u] == s.gen {
+		return false
+	}
+	s.seen[u] = s.gen
+	return true
+}
+
+// Ingest appends one action to the stream, updates the diffusion index and
+// contribution logs, and returns the delta to feed to checkpoint oracles.
+// The returned Delta's Contributors slice is reused across calls.
+func (s *Stream) Ingest(a Action) (Delta, error) {
+	if a.ID <= s.last {
+		return Delta{}, ErrNonMonotonicID
+	}
+	if !a.Root() && a.Parent >= a.ID {
+		return Delta{}, ErrBadParent
+	}
+	s.last = a.ID
+
+	rec := &record{user: a.User, parent: a.Parent, refs: 1}
+	if !a.Root() {
+		if p, ok := s.idx[a.Parent]; ok {
+			p.refs++
+		} else {
+			// Parent already collected (or never seen): treat as root for
+			// chain purposes. Influence through it is unrecoverable, which
+			// is correct: no retained window suffix can include evidence of
+			// it.
+			rec.parent = NoParent
+		}
+	}
+	s.idx[a.ID] = rec
+	s.window = append(s.window, a)
+
+	// Resolve the ancestor chain and record contributions.
+	s.gen++
+	s.contribBuf = s.contribBuf[:0]
+	depth := 0
+	if s.mark(a.User) {
+		s.contribBuf = append(s.contribBuf, a.User)
+	}
+	for pid := rec.parent; pid != NoParent; {
+		p, ok := s.idx[pid]
+		if !ok {
+			break
+		}
+		depth++
+		if s.mark(p.user) {
+			s.contribBuf = append(s.contribBuf, p.user)
+		}
+		pid = p.parent
+	}
+	for _, u := range s.contribBuf {
+		l := s.logs[u]
+		if l == nil {
+			l = &userLog{}
+			s.logs[u] = l
+		}
+		l.touch(a.User, a.ID)
+	}
+
+	s.totalActions++
+	s.totalDepth += int64(depth)
+	if !a.Root() {
+		s.totalRespDist += int64(a.ID - a.Parent)
+		s.respActions++
+	}
+	s.userSet[a.User] = struct{}{}
+
+	return Delta{Action: a, Contributors: s.contribBuf, Depth: depth}, nil
+}
+
+// Advance raises the retention horizon: actions with ID < horizon are
+// expired, their records released (recursively unpinning ancestor records
+// with no remaining live descendants) and their contribution-log entries
+// pruned. The caller — the checkpoint framework — passes the minimum start
+// time over all live checkpoints, which may be older than the window start
+// because SIC retains one expired checkpoint Λ[x0] (paper Algorithm 2).
+func (s *Stream) Advance(horizon ActionID) {
+	if horizon <= s.horizon {
+		return
+	}
+	s.horizon = horizon
+	for s.wstart < len(s.window) && s.window[s.wstart].ID < horizon {
+		id := s.window[s.wstart].ID
+		// Prune the logs of exactly the users that contributed to the
+		// expiring action; every stale log entry has the timestamp of some
+		// expiring action, so this touches each log only when needed
+		// instead of sweeping the whole map per call.
+		s.expireBuf = s.Contributors(id, s.expireBuf[:0])
+		for _, u := range s.expireBuf {
+			if l := s.logs[u]; l != nil {
+				l.prune(horizon)
+				if len(l.list) == 0 {
+					delete(s.logs, u)
+				}
+			}
+		}
+		s.release(id)
+		s.wstart++
+	}
+	if s.wstart > len(s.window)/2 && s.wstart > 64 {
+		n := copy(s.window, s.window[s.wstart:])
+		s.window = s.window[:n]
+		s.wstart = 0
+	}
+}
+
+// release drops the liveness reference of action id and collects any records
+// whose reference count reaches zero, walking up the ancestor chain.
+func (s *Stream) release(id ActionID) {
+	for id != NoParent {
+		rec, ok := s.idx[id]
+		if !ok {
+			return
+		}
+		rec.refs--
+		if rec.refs > 0 {
+			return
+		}
+		delete(s.idx, id)
+		id = rec.parent
+	}
+}
+
+// Influence visits the distinct users influenced by u, counting only actions
+// with ID >= start (the influence set I_s(u) of paper Definition 1 for the
+// window suffix beginning at s). Visiting stops early if visit returns
+// false. start values older than Horizon() are answered as if start ==
+// Horizon().
+func (s *Stream) Influence(u UserID, start ActionID, visit func(UserID) bool) {
+	l := s.logs[u]
+	if l == nil {
+		return
+	}
+	for _, c := range l.prefix(start) {
+		if !visit(c.V) {
+			return
+		}
+	}
+}
+
+// InfluenceRecency returns the influence set of u for the suffix starting at
+// start as (user, last-contribution-time) pairs sorted by descending time.
+//
+// Because v ∈ I_s(u) exactly when v's latest contribution time is >= s, the
+// influence set for ANY later start s' > s is a prefix of the returned list
+// (slice it with PrefixFor). The checkpoint frameworks exploit that: one
+// call per contributor serves every checkpoint. The returned slice aliases
+// internal state and is valid until the next Ingest or Advance call.
+func (s *Stream) InfluenceRecency(u UserID, start ActionID) []Contrib {
+	l := s.logs[u]
+	if l == nil {
+		return nil
+	}
+	return l.prefix(start)
+}
+
+// PrefixFor returns the prefix of a descending-time Contrib list whose
+// entries have T >= start — the influence set for the suffix beginning at
+// start.
+func PrefixFor(list []Contrib, start ActionID) []Contrib {
+	i := sort.Search(len(list), func(i int) bool { return list[i].T < start })
+	return list[:i]
+}
+
+// InfluenceSet materializes I_s(u) into a fresh slice.
+func (s *Stream) InfluenceSet(u UserID, start ActionID) []UserID {
+	var out []UserID
+	s.Influence(u, start, func(v UserID) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// InfluenceSize returns |I_s(u)|, the cardinality influence value of the
+// single user u for the suffix starting at start.
+func (s *Stream) InfluenceSize(u UserID, start ActionID) int {
+	n := 0
+	s.Influence(u, start, func(UserID) bool { n++; return true })
+	return n
+}
+
+// Influencers visits every user with a non-empty influence set for the
+// suffix starting at start. Visiting stops early if visit returns false.
+func (s *Stream) Influencers(start ActionID, visit func(UserID) bool) {
+	for u, l := range s.logs {
+		if len(l.prefix(start)) > 0 {
+			if !visit(u) {
+				return
+			}
+		}
+	}
+}
+
+// Actions visits the retained actions with ID >= from in timestamp order.
+// Visiting stops early if visit returns false.
+func (s *Stream) Actions(from ActionID, visit func(Action) bool) {
+	w := s.window[s.wstart:]
+	i := sort.Search(len(w), func(i int) bool { return w[i].ID >= from })
+	for _, a := range w[i:] {
+		if !visit(a) {
+			return
+		}
+	}
+}
+
+// Contributors resolves the ancestor chain of the retained action id and
+// appends the distinct contributing users (the action's own user first) to
+// buf, returning the extended slice. It returns buf unchanged when id is not
+// retained.
+func (s *Stream) Contributors(id ActionID, buf []UserID) []UserID {
+	rec, ok := s.idx[id]
+	if !ok {
+		return buf
+	}
+	s.gen++
+	if s.mark(rec.user) {
+		buf = append(buf, rec.user)
+	}
+	for pid := rec.parent; pid != NoParent; {
+		p, ok := s.idx[pid]
+		if !ok {
+			break
+		}
+		if s.mark(p.user) {
+			buf = append(buf, p.user)
+		}
+		pid = p.parent
+	}
+	return buf
+}
+
+// Stats summarizes the whole stream seen so far (not only the retained
+// window); it backs the Table 3 reproduction.
+type Stats struct {
+	Users        int
+	Actions      int64
+	AvgRespDist  float64 // mean t - t' over non-root actions
+	AvgDepth     float64 // mean ancestor-chain length
+	RootFraction float64
+}
+
+// Stats returns cumulative statistics over all ingested actions.
+func (s *Stream) Stats() Stats {
+	st := Stats{Users: len(s.userSet), Actions: s.totalActions}
+	if s.respActions > 0 {
+		st.AvgRespDist = float64(s.totalRespDist) / float64(s.respActions)
+	}
+	if s.totalActions > 0 {
+		st.AvgDepth = float64(s.totalDepth) / float64(s.totalActions)
+		st.RootFraction = float64(s.totalActions-s.respActions) / float64(s.totalActions)
+	}
+	return st
+}
+
+// RetainedBytesEstimate is a rough accounting of live index size, used by
+// memory-focused benchmarks and the ablation comparing shared logs against
+// per-checkpoint influence sets.
+func (s *Stream) RetainedBytesEstimate() int64 {
+	var b int64
+	b += int64(len(s.idx)) * 24
+	for _, l := range s.logs {
+		b += int64(cap(l.list)) * 12
+	}
+	b += int64(cap(s.window)) * 24
+	return b
+}

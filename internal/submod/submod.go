@@ -1,0 +1,130 @@
+// Package submod provides the monotone submodular influence objectives used
+// by SIM queries (paper §3) and an incremental coverage accumulator shared
+// by the streaming oracles and the greedy baseline.
+//
+// The paper evaluates f(I_t(S)) where I_t(S) is the union of the seeds'
+// influence sets. The main text uses the cardinality function f = |·|;
+// Appendix A extends to weighted variants such as conformity-aware scores.
+// Both are weighted coverage functions: each covered user v contributes a
+// fixed non-negative weight, which makes f monotone and submodular in S and
+// lets every algorithm compute marginal gains in time linear in the
+// candidate's influence set.
+package submod
+
+import (
+	"repro/internal/stream"
+	"repro/internal/uintset"
+)
+
+// Weights assigns the value of covering a user for the first time. A nil
+// Weights is treated as Cardinality by all consumers in this module.
+type Weights interface {
+	Weight(v stream.UserID) float64
+}
+
+// Cardinality is the influence function of the paper's main text:
+// f(I(S)) = |I(S)|. Every covered user counts 1.
+type Cardinality struct{}
+
+// Weight implements Weights.
+func (Cardinality) Weight(stream.UserID) float64 { return 1 }
+
+// WeightFunc adapts a plain function to the Weights interface.
+type WeightFunc func(stream.UserID) float64
+
+// Weight implements Weights.
+func (f WeightFunc) Weight(v stream.UserID) float64 { return f(v) }
+
+// Table is a Weights backed by a map with a default for absent users. It
+// implements the conformity-aware objective of Appendix A, where the weight
+// of covering v is derived from v's offline conformity score Ω(v).
+type Table struct {
+	W       map[stream.UserID]float64
+	Default float64
+}
+
+// Weight implements Weights.
+func (t Table) Weight(v stream.UserID) float64 {
+	if w, ok := t.W[v]; ok {
+		return w
+	}
+	return t.Default
+}
+
+// weightOf normalizes a possibly-nil Weights.
+func weightOf(w Weights, v stream.UserID) float64 {
+	if w == nil {
+		return 1
+	}
+	return w.Weight(v)
+}
+
+// Coverage accumulates a covered-user set and its objective value under a
+// fixed Weights. The zero value is not usable; construct with NewCoverage.
+// The covered set is an open-addressing uint32 set (package uintset): the
+// oracles test membership hundreds of times per stream action, and this is
+// the hot path of the whole system.
+type Coverage struct {
+	w       Weights
+	covered *uintset.Set
+	value   float64
+}
+
+// NewCoverage returns an empty accumulator for weights w (nil means
+// cardinality).
+func NewCoverage(w Weights) *Coverage {
+	return &Coverage{w: w, covered: uintset.New(0)}
+}
+
+// Has reports whether v is already covered.
+func (c *Coverage) Has(v stream.UserID) bool {
+	return c.covered.Has(uint32(v))
+}
+
+// Add covers v, returning the marginal gain (0 when v was already covered).
+func (c *Coverage) Add(v stream.UserID) float64 {
+	if !c.covered.Add(uint32(v)) {
+		return 0
+	}
+	g := weightOf(c.w, v)
+	c.value += g
+	return g
+}
+
+// Gain returns the marginal value of covering v without covering it.
+func (c *Coverage) Gain(v stream.UserID) float64 {
+	if c.Has(v) {
+		return 0
+	}
+	return weightOf(c.w, v)
+}
+
+// Value returns f of the covered set.
+func (c *Coverage) Value() float64 { return c.value }
+
+// Len returns the number of covered users.
+func (c *Coverage) Len() int { return c.covered.Len() }
+
+// Clone returns an independent copy.
+func (c *Coverage) Clone() *Coverage {
+	return &Coverage{w: c.w, covered: c.covered.Clone(), value: c.value}
+}
+
+// Reset empties the accumulator, keeping the weights.
+func (c *Coverage) Reset() {
+	c.covered.Reset()
+	c.value = 0
+}
+
+// ValueOf computes f of the union of the given user sets under w. It is the
+// reference (non-incremental) evaluation used by tests and the offline
+// greedy baseline.
+func ValueOf(w Weights, sets ...[]stream.UserID) float64 {
+	c := NewCoverage(w)
+	for _, s := range sets {
+		for _, v := range s {
+			c.Add(v)
+		}
+	}
+	return c.Value()
+}

@@ -1,0 +1,140 @@
+package submod
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func TestCardinalityCoverage(t *testing.T) {
+	c := NewCoverage(nil)
+	if c.Value() != 0 || c.Len() != 0 {
+		t.Fatalf("empty coverage: value=%v len=%d", c.Value(), c.Len())
+	}
+	if g := c.Add(1); g != 1 {
+		t.Fatalf("first add gain = %v, want 1", g)
+	}
+	if g := c.Add(1); g != 0 {
+		t.Fatalf("repeat add gain = %v, want 0", g)
+	}
+	c.Add(2)
+	if c.Value() != 2 || c.Len() != 2 {
+		t.Fatalf("value=%v len=%d, want 2, 2", c.Value(), c.Len())
+	}
+	if !c.Has(1) || c.Has(3) {
+		t.Fatal("Has is wrong")
+	}
+	if c.Gain(3) != 1 || c.Gain(2) != 0 {
+		t.Fatal("Gain is wrong")
+	}
+}
+
+func TestWeightedCoverage(t *testing.T) {
+	w := Table{W: map[stream.UserID]float64{1: 2.5, 2: 0.5}, Default: 1}
+	c := NewCoverage(w)
+	c.Add(1)
+	c.Add(2)
+	c.Add(9)
+	if got, want := c.Value(), 4.0; got != want {
+		t.Fatalf("weighted value = %v, want %v", got, want)
+	}
+}
+
+func TestWeightFunc(t *testing.T) {
+	w := WeightFunc(func(v stream.UserID) float64 { return float64(v) })
+	if w.Weight(7) != 7 {
+		t.Fatal("WeightFunc did not delegate")
+	}
+}
+
+func TestCardinalityWeightIsOne(t *testing.T) {
+	if (Cardinality{}).Weight(42) != 1 {
+		t.Fatal("Cardinality weight must be 1")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	c := NewCoverage(nil)
+	c.Add(1)
+	cp := c.Clone()
+	cp.Add(2)
+	if c.Len() != 1 || cp.Len() != 2 {
+		t.Fatalf("clone not independent: orig=%d clone=%d", c.Len(), cp.Len())
+	}
+	if c.Value() != 1 || cp.Value() != 2 {
+		t.Fatalf("clone values wrong: %v, %v", c.Value(), cp.Value())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCoverage(nil)
+	c.Add(1)
+	c.Add(2)
+	c.Reset()
+	if c.Len() != 0 || c.Value() != 0 {
+		t.Fatal("Reset did not empty the accumulator")
+	}
+	c.Add(1)
+	if c.Value() != 1 {
+		t.Fatal("coverage unusable after Reset")
+	}
+}
+
+func TestValueOfUnion(t *testing.T) {
+	got := ValueOf(nil, []stream.UserID{1, 2}, []stream.UserID{2, 3}, nil)
+	if got != 3 {
+		t.Fatalf("ValueOf = %v, want 3", got)
+	}
+}
+
+// TestCoverageIsMonotoneSubmodular checks the two structural properties the
+// SIM frameworks rely on (paper §3 footnotes 3 and 4) on random instances:
+// for A ⊆ B and x ∉ B, f(A∪x) − f(A) ≥ f(B∪x) − f(B), and f(A) ≤ f(B).
+func TestCoverageIsMonotoneSubmodular(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := Table{W: map[stream.UserID]float64{}, Default: 0}
+		for v := stream.UserID(0); v < 30; v++ {
+			w.W[v] = r.Float64() * 3
+		}
+		a := NewCoverage(w)
+		b := NewCoverage(w)
+		for i := 0; i < 10; i++ {
+			v := stream.UserID(r.Intn(30))
+			a.Add(v)
+			b.Add(v)
+		}
+		for i := 0; i < 10; i++ { // grow B beyond A
+			b.Add(stream.UserID(r.Intn(30)))
+		}
+		if a.Value() > b.Value()+1e-12 {
+			return false // monotonicity violated
+		}
+		x := stream.UserID(r.Intn(30))
+		if b.Has(x) {
+			return true // property quantifies over x ∉ B
+		}
+		return a.Gain(x) >= b.Gain(x)-1e-12
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueEqualsSumOfGains(t *testing.T) {
+	f := func(ids []uint32) bool {
+		c := NewCoverage(nil)
+		total := 0.0
+		for _, id := range ids {
+			total += c.Add(stream.UserID(id % 64))
+		}
+		return total == c.Value() && c.Len() <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

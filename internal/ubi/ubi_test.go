@@ -1,0 +1,151 @@
+package ubi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mc"
+	"repro/internal/stream"
+)
+
+func hubGraph(hub stream.UserID, leaves, base int) *graph.Graph {
+	var edges [][2]stream.UserID
+	for i := 0; i < leaves; i++ {
+		edges = append(edges, [2]stream.UserID{hub, stream.UserID(base + i)})
+	}
+	return graph.Build(edges)
+}
+
+func TestUpdateFindsHub(t *testing.T) {
+	tr := New(1, Options{Seed: 1})
+	seeds := tr.Update(hubGraph(99, 25, 1000))
+	if len(seeds) != 1 || seeds[0] != 99 {
+		t.Fatalf("seeds = %v, want [99]", seeds)
+	}
+}
+
+func TestUpdateEmptyGraph(t *testing.T) {
+	tr := New(3, Options{Seed: 1})
+	tr.Update(hubGraph(1, 5, 100))
+	if seeds := tr.Update(graph.Build(nil)); seeds != nil {
+		t.Fatalf("empty graph seeds = %v", seeds)
+	}
+}
+
+func TestSeedsCarryAcrossUpdates(t *testing.T) {
+	tr := New(1, Options{Seed: 2})
+	g1 := hubGraph(7, 20, 1000)
+	tr.Update(g1)
+	// Same graph again: the seed must persist with no interchange.
+	seeds := tr.Update(g1)
+	if len(seeds) != 1 || seeds[0] != 7 {
+		t.Fatalf("seeds = %v, want [7]", seeds)
+	}
+}
+
+func TestInterchangeTracksShiftedInfluence(t *testing.T) {
+	// The hub moves from user 7 to user 8 across updates; UBI must swap.
+	tr := New(1, Options{Seed: 3, Rounds: 300})
+	tr.Update(hubGraph(7, 25, 1000))
+	var seeds []stream.UserID
+	// New graph: 7 has a single leaf, 8 has 25.
+	var edges [][2]stream.UserID
+	edges = append(edges, [2]stream.UserID{7, 2000})
+	for i := 0; i < 25; i++ {
+		edges = append(edges, [2]stream.UserID{8, stream.UserID(3000 + i)})
+	}
+	g := graph.Build(edges)
+	seeds = tr.Update(g)
+	if len(seeds) != 1 || seeds[0] != 8 {
+		t.Fatalf("seeds after shift = %v, want [8]", seeds)
+	}
+}
+
+func TestRefillAfterSeedVanishes(t *testing.T) {
+	tr := New(2, Options{Seed: 4})
+	var edges [][2]stream.UserID
+	for i := 0; i < 10; i++ {
+		edges = append(edges, [2]stream.UserID{1, stream.UserID(100 + i)})
+		edges = append(edges, [2]stream.UserID{2, stream.UserID(200 + i)})
+	}
+	tr.Update(graph.Build(edges))
+	if len(tr.Seeds()) != 2 {
+		t.Fatalf("initial seeds = %v", tr.Seeds())
+	}
+	// User 2 disappears entirely; a replacement must be found.
+	edges = edges[:0]
+	for i := 0; i < 10; i++ {
+		edges = append(edges, [2]stream.UserID{1, stream.UserID(100 + i)})
+		edges = append(edges, [2]stream.UserID{3, stream.UserID(300 + i)})
+	}
+	seeds := tr.Update(graph.Build(edges))
+	if len(seeds) != 2 {
+		t.Fatalf("seeds after vanish = %v", seeds)
+	}
+	got := map[stream.UserID]bool{}
+	for _, s := range seeds {
+		got[s] = true
+	}
+	if !got[1] || !got[3] {
+		t.Fatalf("seeds = %v, want {1, 3}", seeds)
+	}
+}
+
+// TestQualityNearGreedyOnRandomGraph: on a random graph UBI's seed spread
+// should be within a reasonable factor of an MC-greedy reference for small k
+// (the regime where the paper reports UBI is competitive).
+func TestQualityNearGreedyOnRandomGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var edges [][2]stream.UserID
+	for i := 0; i < 2000; i++ {
+		edges = append(edges, [2]stream.UserID{stream.UserID(rng.Intn(200)), stream.UserID(rng.Intn(200))})
+	}
+	g := graph.Build(edges)
+	tr := New(3, Options{Seed: 7, Rounds: 300})
+	seeds := tr.Update(g)
+	got := mc.Spread(g, seeds, 5000, 1)
+
+	ref := greedyByMC(g, 3, 300)
+	refSpread := mc.Spread(g, ref, 5000, 1)
+	if got < 0.8*refSpread {
+		t.Fatalf("UBI spread %v < 80%% of greedy reference %v", got, refSpread)
+	}
+}
+
+// greedyByMC is a slow reference: plain greedy with MC marginal estimates.
+func greedyByMC(g *graph.Graph, k, rounds int) []stream.UserID {
+	est := mc.NewEstimator(g, rand.New(rand.NewSource(99)))
+	var nodes []graph.NodeID
+	in := map[graph.NodeID]bool{}
+	for len(nodes) < k {
+		base := est.Estimate(nodes, rounds)
+		best, bestGain := graph.NodeID(-1), 0.0
+		for n := 0; n < g.N(); n++ {
+			if in[graph.NodeID(n)] || len(g.Out(graph.NodeID(n))) == 0 {
+				continue
+			}
+			gain := est.Estimate(append(nodes, graph.NodeID(n)), rounds) - base
+			if gain > bestGain {
+				best, bestGain = graph.NodeID(n), gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		nodes = append(nodes, best)
+		in[best] = true
+	}
+	users := make([]stream.UserID, len(nodes))
+	for i, n := range nodes {
+		users[i] = g.UserOf(n)
+	}
+	return users
+}
+
+func TestDefaults(t *testing.T) {
+	tr := New(5, Options{})
+	if tr.opt.Gamma != 0.01 || tr.opt.Rounds != 200 || tr.opt.Pool != 52 {
+		t.Fatalf("defaults = %+v", tr.opt)
+	}
+}

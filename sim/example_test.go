@@ -1,0 +1,48 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/sim"
+)
+
+// ExampleNew tracks the paper's Figure 1 stream and prints the influential
+// users at the end.
+func ExampleNew() {
+	tracker, err := sim.New(sim.Config{K: 2, WindowSize: 8})
+	if err != nil {
+		panic(err)
+	}
+	actions := []sim.Action{
+		{ID: 1, User: 1, Parent: sim.NoParent},
+		{ID: 2, User: 2, Parent: 1},
+		{ID: 3, User: 3, Parent: sim.NoParent},
+		{ID: 4, User: 3, Parent: 1},
+		{ID: 5, User: 4, Parent: 3},
+		{ID: 6, User: 1, Parent: 3},
+		{ID: 7, User: 5, Parent: 3},
+		{ID: 8, User: 4, Parent: 7},
+	}
+	if err := tracker.ProcessAll(actions); err != nil {
+		panic(err)
+	}
+	fmt.Printf("seeds=%v value=%.0f\n", tracker.Seeds(), tracker.Value())
+	// Output: seeds=[1 3] value=5
+}
+
+// ExampleConfig_filter demonstrates the topic-aware adaptation of
+// Appendix A: the tracker only sees the sub-stream its filter accepts.
+func ExampleConfig_filter() {
+	tracker, err := sim.New(sim.Config{
+		K:          1,
+		WindowSize: 4,
+		Filter:     func(a sim.Action) bool { return a.User != 9 },
+	})
+	if err != nil {
+		panic(err)
+	}
+	_ = tracker.Process(sim.Action{ID: 1, User: 9, Parent: sim.NoParent}) // filtered out
+	_ = tracker.Process(sim.Action{ID: 2, User: 1, Parent: sim.NoParent})
+	fmt.Println(tracker.Processed())
+	// Output: 1
+}

@@ -1,0 +1,255 @@
+// Package sim is the public API of the stream influence maximization
+// library, a reproduction of "Real-Time Influence Maximization on Dynamic
+// Social Streams" (Wang, Fan, Li, Tan — VLDB 2017).
+//
+// A Tracker answers the continuous SIM query: over a sliding window of the
+// most recent N social actions, maintain up to K users whose combined
+// influence sets maximize a monotone submodular objective. Internally it
+// runs the paper's Sparse Influential Checkpoints framework (or the denser
+// IC variant) on top of a streaming submodular oracle.
+//
+// Quick start:
+//
+//	tr, err := sim.New(sim.Config{K: 10, WindowSize: 100_000})
+//	if err != nil { ... }
+//	for a := range actions {
+//	    if err := tr.Process(a); err != nil { ... }
+//	    seeds := tr.Seeds() // current influential users
+//	}
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/oracle"
+	"repro/internal/stream"
+	"repro/internal/submod"
+)
+
+// Re-exported stream types: the social-action vocabulary of the library.
+type (
+	// Action is one social action: User acts at time ID in response to the
+	// earlier action Parent (NoParent for original posts).
+	Action = stream.Action
+	// UserID identifies a user.
+	UserID = stream.UserID
+	// ActionID is an action's timestamp / sequence number.
+	ActionID = stream.ActionID
+	// Weights assigns per-user coverage values; nil means the cardinality
+	// objective |I(S)| of the paper's main text.
+	Weights = submod.Weights
+)
+
+// NoParent marks a root action.
+const NoParent = stream.NoParent
+
+// Cardinality is the unweighted influence objective f(I(S)) = |I(S)|.
+type Cardinality = submod.Cardinality
+
+// WeightTable is a map-backed Weights with a default, e.g. for the
+// conformity-aware objective of the paper's Appendix A.
+type WeightTable = submod.Table
+
+// Framework selects the checkpoint maintenance strategy.
+type Framework int
+
+const (
+	// SIC is the Sparse Influential Checkpoints framework (paper §5):
+	// O(log N / β) checkpoints, ε(1−β)/2 approximation. The default.
+	SIC Framework = iota
+	// IC is the dense Influential Checkpoints framework (paper §4):
+	// ⌈N/L⌉ checkpoints, full oracle ratio ε, higher update cost.
+	IC
+)
+
+// String returns the paper's name for the framework.
+func (f Framework) String() string {
+	switch f {
+	case SIC:
+		return "SIC"
+	case IC:
+		return "IC"
+	default:
+		return fmt.Sprintf("Framework(%d)", int(f))
+	}
+}
+
+// Oracle selects the streaming submodular algorithm run inside every
+// checkpoint (paper Table 2).
+type Oracle int
+
+const (
+	// SieveStreaming (Badanidiyuru et al.): (1/2−β)-approximate, the
+	// oracle used throughout the paper's evaluation. The default.
+	SieveStreaming Oracle = iota
+	// ThresholdStream (Kumar et al.): (1/2−β)-approximate.
+	ThresholdStream
+	// BlogWatch (Saha & Getoor): 1/4-approximate swap oracle, O(k) updates.
+	BlogWatch
+	// MkC (Ausiello et al.): 1/4-approximate swap oracle considering every
+	// possible swap.
+	MkC
+)
+
+// String returns the oracle's published name.
+func (o Oracle) String() string { return o.kind().String() }
+
+func (o Oracle) kind() oracle.Kind {
+	switch o {
+	case SieveStreaming:
+		return oracle.SieveStreaming
+	case ThresholdStream:
+		return oracle.ThresholdStream
+	case BlogWatch:
+		return oracle.BlogWatch
+	case MkC:
+		return oracle.MkC
+	default:
+		panic(fmt.Sprintf("sim: unknown oracle %d", int(o)))
+	}
+}
+
+// Config configures a Tracker. K and WindowSize are mandatory; everything
+// else has sensible defaults.
+type Config struct {
+	// K is the maximum number of seed users to maintain.
+	K int
+	// WindowSize is N, the number of most recent actions considered.
+	WindowSize int
+	// Slide is L, the number of actions per window slide; results are
+	// guaranteed at slide boundaries. Defaults to 1.
+	Slide int
+	// Beta trades quality for speed in both SIC's checkpoint pruning and
+	// the sieve-style oracles' threshold grids. Defaults to 0.1.
+	Beta float64
+	// Framework selects SIC (default) or IC.
+	Framework Framework
+	// Oracle selects the checkpoint oracle. Defaults to SieveStreaming.
+	Oracle Oracle
+	// Weights is the influence objective; nil means cardinality.
+	Weights Weights
+	// Filter, when non-nil, restricts the query to the sub-stream of
+	// actions it accepts — the topic-aware / location-aware adaptation of
+	// the paper's Appendix A. Rejected actions are ignored entirely and do
+	// not occupy window slots.
+	Filter func(Action) bool
+	// TimeBased switches from the paper's sequence-based window to a
+	// time-based one: action IDs are interpreted as timestamps (gaps
+	// allowed) and WindowSize / Slide become durations in the same unit.
+	// An extension beyond the paper; the approximation guarantees carry
+	// over because expiry is timestamp-driven either way.
+	TimeBased bool
+}
+
+// Tracker continuously answers one SIM query. It is not safe for concurrent
+// use.
+type Tracker struct {
+	fw     *core.Framework
+	filter func(Action) bool
+	orc    Oracle
+}
+
+// New validates cfg and returns a ready Tracker.
+func New(cfg Config) (*Tracker, error) {
+	if cfg.Beta == 0 {
+		cfg.Beta = 0.1
+	}
+	if cfg.Beta < 0 || cfg.Beta >= 1 {
+		return nil, fmt.Errorf("sim: Beta must be in (0, 1), got %v", cfg.Beta)
+	}
+	if cfg.Oracle < SieveStreaming || cfg.Oracle > MkC {
+		return nil, fmt.Errorf("sim: unknown oracle %d", int(cfg.Oracle))
+	}
+	fw, err := core.New(core.Config{
+		K:      cfg.K,
+		N:      cfg.WindowSize,
+		L:      cfg.Slide,
+		Beta:   cfg.Beta,
+		Oracle: oracle.NewFactory(cfg.Oracle.kind(), cfg.Beta, cfg.Weights),
+		Sparse: cfg.Framework == SIC,
+		ByTime: cfg.TimeBased,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{fw: fw, filter: cfg.Filter, orc: cfg.Oracle}, nil
+}
+
+// Process ingests one action. Actions must arrive with strictly increasing
+// IDs; an action referencing itself or a future action as parent is
+// rejected. Filtered-out actions are silently skipped.
+func (t *Tracker) Process(a Action) error {
+	if t.filter != nil && !t.filter(a) {
+		return nil
+	}
+	return t.fw.Process(a)
+}
+
+// ProcessAll ingests a batch of actions, stopping at the first error.
+func (t *Tracker) ProcessAll(actions []Action) error {
+	for _, a := range actions {
+		if err := t.Process(a); err != nil {
+			return fmt.Errorf("action %v: %w", a, err)
+		}
+	}
+	return nil
+}
+
+// Seeds returns the current solution: at most K users who (approximately)
+// maximize the influence objective over the current window. The slice is
+// owned by the Tracker and valid until the next Process call.
+func (t *Tracker) Seeds() []UserID { return t.fw.Seeds() }
+
+// Value returns the influence objective of the current solution as
+// maintained by the answering checkpoint.
+func (t *Tracker) Value() float64 { return t.fw.Value() }
+
+// InfluenceSet returns the users currently influenced by u within the
+// window (Definition 1 of the paper).
+func (t *Tracker) InfluenceSet(u UserID) []UserID {
+	return t.fw.Stream().InfluenceSet(u, t.fw.WindowStart())
+}
+
+// WindowStart returns the ID of the first action of the current window.
+func (t *Tracker) WindowStart() ActionID { return t.fw.WindowStart() }
+
+// Processed returns the number of accepted (unfiltered) actions.
+func (t *Tracker) Processed() int64 { return t.fw.Processed() }
+
+// Stats summarizes the tracker's internal state.
+type Stats struct {
+	// Framework / Oracle echo the configuration.
+	Framework Framework
+	Oracle    Oracle
+	// Processed is the number of accepted actions.
+	Processed int64
+	// Checkpoints is the number of live checkpoints.
+	Checkpoints int
+	// AvgCheckpoints is the average number of live checkpoints per action,
+	// the quantity plotted in the paper's Figure 6.
+	AvgCheckpoints float64
+	// ElementsFed counts oracle updates (the O(d·N) term of §4.2).
+	ElementsFed int64
+}
+
+// Stats returns a snapshot of maintenance counters.
+func (t *Tracker) Stats() Stats {
+	fs := t.fw.Stats()
+	fwk := IC
+	if t.fw.Config().Sparse {
+		fwk = SIC
+	}
+	return Stats{
+		Framework:      fwk,
+		Oracle:         t.orc,
+		Processed:      fs.Processed,
+		Checkpoints:    t.fw.Checkpoints(),
+		AvgCheckpoints: fs.AvgCheckpoints,
+		ElementsFed:    fs.ElementsFed,
+	}
+}
+
+// Internal returns the underlying framework for the benchmark harness and
+// white-box examples. Treat it as read-only.
+func (t *Tracker) Internal() *core.Framework { return t.fw }
