@@ -1,0 +1,33 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI are identical.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt fmt-check vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: a smoke run of every table/figure generator.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build race bench

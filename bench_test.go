@@ -55,3 +55,7 @@ func BenchmarkFig11ThroughputL(b *testing.B) { runExperiment(b, "fig11") }
 
 // BenchmarkFig12ThroughputU regenerates Fig 12 (throughput vs user count).
 func BenchmarkFig12ThroughputU(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkParScaling measures the parallel/batched ingestion engine against
+// the serial per-action baseline (extension beyond the paper).
+func BenchmarkParScaling(b *testing.B) { runExperiment(b, "par") }

@@ -7,8 +7,11 @@
 //	simbench -exp fig5,fig7        # run selected experiments
 //	simbench -scale smoke          # fast pass (seconds, coarser numbers)
 //	simbench -window 20000 -k 50   # override individual sizes
+//	simbench -exp par              # parallel/batched ingestion scaling
+//	simbench -parallelism 4 -batch 100 -exp fig7   # parallel engine for any run
 //
-// Experiment IDs: table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12.
+// Experiment IDs: table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// par (parallel ingestion scaling, an extension beyond the paper).
 // See DESIGN.md §5 for the mapping from each ID to the paper's artefact and
 // EXPERIMENTS.md for recorded paper-vs-measured results.
 package main
@@ -36,6 +39,8 @@ func main() {
 		mc      = flag.Int("mc", 0, "override Monte-Carlo rounds")
 		samples = flag.Int("samples", 0, "override quality sample count")
 		seed    = flag.Int64("seed", 0, "override random seed")
+		par     = flag.Int("parallelism", 0, "oracle worker-pool width for streaming runs (1 = serial, -1 = GOMAXPROCS)")
+		batch   = flag.Int("batch", 0, "ingestion batch size for streaming runs (1 = per-action)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -83,6 +88,14 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+	if *par != 0 {
+		// Negative values flow through to sim.New, which maps them to
+		// GOMAXPROCS.
+		sc.Parallelism = *par
+	}
+	if *batch > 0 {
+		sc.BatchSize = *batch
 	}
 
 	var ids []string

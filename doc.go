@@ -3,8 +3,15 @@
 //
 // The public API lives in package repro/sim; the paper's IC/SIC frameworks,
 // the streaming submodular oracles, the IMM/UBI/Greedy baselines and the
-// experiment harness live under internal/. See README.md for a tour,
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record. The benchmarks in bench_test.go regenerate every
-// table and figure of the paper's evaluation at laptop scale.
+// experiment harness live under internal/. See README.md for a tour and the
+// quickstart. The benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation at laptop scale.
+//
+// Beyond the paper, the ingestion hot path is parallelizable: sim.Config's
+// Parallelism option fans each checkpoint oracle's mutually independent
+// sieve instances across a persistent worker pool (default 1 = serial,
+// bit-identical results at any width), and BatchSize groups actions so
+// stream-index and checkpoint maintenance amortize across a batch (default
+// 1 = per-action, exact legacy behavior; queries are exact at batch
+// boundaries). See the sim package documentation for details.
 package repro

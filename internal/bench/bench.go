@@ -79,21 +79,29 @@ type Scale struct {
 	Samples int
 	// Seed fixes all randomness.
 	Seed int64
+	// Parallelism is the oracle worker-pool width used by the streaming
+	// runs (sim.Config.Parallelism). 1 = serial, the legacy default.
+	Parallelism int
+	// BatchSize is the ingestion batch size used by the streaming runs
+	// (sim.Config.BatchSize). 1 = per-action, the legacy default.
+	BatchSize int
 }
 
 // ScaleDefault divides the paper's sizes by 50: N=10K, L=100, 60K-action
 // streams. Suitable for cmd/simbench on a laptop (minutes).
 func ScaleDefault() Scale {
 	return Scale{
-		Users:     20000,
-		StreamLen: 60000,
-		Window:    10000,
-		Slide:     100,
-		K:         25,
-		Beta:      0.1,
-		MCRounds:  500,
-		Samples:   4,
-		Seed:      1,
+		Users:       20000,
+		StreamLen:   60000,
+		Window:      10000,
+		Slide:       100,
+		K:           25,
+		Beta:        0.1,
+		MCRounds:    500,
+		Samples:     4,
+		Seed:        1,
+		Parallelism: 1,
+		BatchSize:   1,
 	}
 }
 
@@ -101,15 +109,17 @@ func ScaleDefault() Scale {
 // (seconds).
 func ScaleSmoke() Scale {
 	return Scale{
-		Users:     2000,
-		StreamLen: 8000,
-		Window:    2000,
-		Slide:     50,
-		K:         10,
-		Beta:      0.1,
-		MCRounds:  100,
-		Samples:   2,
-		Seed:      1,
+		Users:       2000,
+		StreamLen:   8000,
+		Window:      2000,
+		Slide:       50,
+		K:           10,
+		Beta:        0.1,
+		MCRounds:    100,
+		Samples:     2,
+		Seed:        1,
+		Parallelism: 1,
+		BatchSize:   1,
 	}
 }
 

@@ -54,7 +54,7 @@ func TestDatasetsShape(t *testing.T) {
 func TestRunFrameworkProducesMetrics(t *testing.T) {
 	sc := ScaleSmoke()
 	ds := Datasets(sc)[3] // SYN-N is the cheapest (short distances)
-	m := runFramework(ds, sim.SIC, sc.K, sc.Window, sc.Slide, 0.2)
+	m := runFramework(ds, sim.SIC, sc.K, sc.Window, sc.Slide, 0.2, 1, 1)
 	if m.AvgValue <= 0 {
 		t.Errorf("AvgValue = %v", m.AvgValue)
 	}
@@ -69,8 +69,8 @@ func TestRunFrameworkProducesMetrics(t *testing.T) {
 func TestICVsSICMetricShapes(t *testing.T) {
 	sc := ScaleSmoke()
 	ds := Datasets(sc)[3]
-	ic := runFramework(ds, sim.IC, sc.K, sc.Window, sc.Slide, 0.2)
-	sic := runFramework(ds, sim.SIC, sc.K, sc.Window, sc.Slide, 0.2)
+	ic := runFramework(ds, sim.IC, sc.K, sc.Window, sc.Slide, 0.2, 1, 1)
+	sic := runFramework(ds, sim.SIC, sc.K, sc.Window, sc.Slide, 0.2, 1, 1)
 	// Fig 6 shape: IC pins ceil(N/L) checkpoints, SIC keeps far fewer.
 	wantIC := float64((sc.Window + sc.Slide - 1) / sc.Slide)
 	if ic.AvgCheckpoints < wantIC-1 {
@@ -123,7 +123,7 @@ func TestRunThroughputCoversAllMethods(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"abl-fastpath", "abl-greedy", "abl-oracle", "fig10", "fig11", "fig12", "fig2-4", "fig5", "fig6", "fig7", "fig8", "fig9", "table2", "table3"}
+	want := []string{"abl-fastpath", "abl-greedy", "abl-oracle", "fig10", "fig11", "fig12", "fig2-4", "fig5", "fig6", "fig7", "fig8", "fig9", "par", "table2", "table3"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(got), len(want))

@@ -26,14 +26,19 @@ type runMetrics struct {
 // runFramework streams ds through one tracker configuration, measuring
 // values at slide boundaries and post-warm-up throughput. The first full
 // window is warm-up: the paper's metrics likewise average over windows, not
-// over the initial fill.
-func runFramework(ds Dataset, fw sim.Framework, k, n, l int, beta float64) runMetrics {
+// over the initial fill. parallelism and batchSize select the ingestion
+// engine configuration (1/1 = the legacy serial per-action path); the flush
+// at each slide boundary is timed so batched runs are charged their full
+// ingestion cost.
+func runFramework(ds Dataset, fw sim.Framework, k, n, l int, beta float64, parallelism, batchSize int) runMetrics {
 	tr, err := sim.New(sim.Config{
 		K: k, WindowSize: n, Slide: l, Beta: beta, Framework: fw,
+		Parallelism: parallelism, BatchSize: batchSize,
 	})
 	if err != nil {
 		panic(err)
 	}
+	defer tr.Close()
 	warm := n
 	if warm > len(ds.Actions) {
 		warm = len(ds.Actions) / 2
@@ -43,14 +48,20 @@ func runFramework(ds Dataset, fw sim.Framework, k, n, l int, beta float64) runMe
 	var elapsed time.Duration
 	for i, a := range ds.Actions {
 		timed := i >= warm
+		boundary := (i+1)%l == 0
 		startT := time.Now()
 		if err := tr.Process(a); err != nil {
 			panic(err)
 		}
+		if boundary {
+			if err := tr.Flush(); err != nil {
+				panic(err)
+			}
+		}
 		if timed {
 			elapsed += time.Since(startT)
 		}
-		if (i+1)%l == 0 && i >= warm {
+		if boundary && i >= warm {
 			sumVal += tr.Value()
 			sumCp += float64(tr.Stats().Checkpoints)
 			boundaries++
@@ -170,8 +181,8 @@ func runThroughput(ds Dataset, sc Scale, k, n, l int, beta float64) throughputRu
 		ds.Actions = ds.Actions[:span]
 	}
 	out := throughputRun{}
-	out["SIC"] = runFramework(ds, sim.SIC, k, n, l, beta).Throughput
-	out["IC"] = runFramework(ds, sim.IC, k, n, l, beta).Throughput
+	out["SIC"] = runFramework(ds, sim.SIC, k, n, l, beta, sc.Parallelism, sc.BatchSize).Throughput
+	out["IC"] = runFramework(ds, sim.IC, k, n, l, beta, sc.Parallelism, sc.BatchSize).Throughput
 
 	// Baselines: replay the window with a bare stream index, then time one
 	// recompute per sample point.

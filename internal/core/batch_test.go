@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/oracle"
+	"repro/internal/stream"
+)
+
+func batchTestActions(seed int64, n, users int) []stream.Action {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]stream.Action, n)
+	for i := range out {
+		a := stream.Action{ID: stream.ActionID(i + 1), User: stream.UserID(rng.Intn(users)), Parent: stream.NoParent}
+		if i > 0 && rng.Float64() < 0.6 {
+			back := rng.Intn(min(i, 50)) + 1
+			a.Parent = stream.ActionID(i + 1 - back)
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// TestProcessBatchStructureMatchesProcess: under IC (no value-dependent
+// pruning), batched processing must reproduce the serial run's checkpoint
+// structure, window position and processed count exactly — batching changes
+// oracle element granularity, never checkpoint maintenance.
+func TestProcessBatchStructureMatchesProcess(t *testing.T) {
+	cfg := Config{K: 5, N: 200, L: 20, Oracle: oracle.NewFactory(oracle.SieveStreaming, 0.1, nil)}
+	actions := batchTestActions(3, 900, 40)
+	for _, batchSize := range []int{1, 7, 20, 64} {
+		serial, batched := MustNew(cfg), MustNew(cfg)
+		for _, a := range actions {
+			if err := serial.Process(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for lo := 0; lo < len(actions); lo += batchSize {
+			hi := min(lo+batchSize, len(actions))
+			if err := batched.ProcessBatch(actions[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s, b := serial.CheckpointStarts(), batched.CheckpointStarts(); !reflect.DeepEqual(s, b) {
+			t.Fatalf("batch=%d: checkpoint starts diverged: serial %v batch %v", batchSize, s, b)
+		}
+		if s, b := serial.WindowStart(), batched.WindowStart(); s != b {
+			t.Fatalf("batch=%d: window start diverged: %d vs %d", batchSize, s, b)
+		}
+		if s, b := serial.Processed(), batched.Processed(); s != b {
+			t.Fatalf("batch=%d: processed diverged: %d vs %d", batchSize, s, b)
+		}
+		// Coarser elements must not change what the answering checkpoint
+		// covers; its value is the same objective over the same suffix
+		// reached through a different admission interleaving, so it stays
+		// within the oracle's guarantee band rather than bit-equal. Sanity:
+		// both runs produce a non-trivial solution.
+		if serial.Value() <= 0 || batched.Value() <= 0 {
+			t.Fatalf("batch=%d: degenerate values: serial %v batch %v", batchSize, serial.Value(), batched.Value())
+		}
+	}
+}
+
+// TestProcessBatchSingleIsExact: a 1-action batch must take the legacy path
+// bit-exactly, Latest fast path included.
+func TestProcessBatchSingleIsExact(t *testing.T) {
+	cfg := Config{K: 4, N: 100, L: 10, Beta: 0.1, Sparse: true,
+		Oracle: oracle.NewFactory(oracle.SieveStreaming, 0.1, nil)}
+	actions := batchTestActions(5, 400, 25)
+	serial, batched := MustNew(cfg), MustNew(cfg)
+	for _, a := range actions {
+		if err := serial.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := batched.ProcessBatch([]stream.Action{a}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s, b := serial.Value(), batched.Value(); s != b {
+		t.Fatalf("values diverged: %v vs %v", s, b)
+	}
+	if s, b := serial.Seeds(), batched.Seeds(); !reflect.DeepEqual(s, b) {
+		t.Fatalf("seeds diverged: %v vs %v", s, b)
+	}
+	if s, b := serial.Stats(), batched.Stats(); s != b {
+		t.Fatalf("stats diverged: %+v vs %+v", s, b)
+	}
+}
+
+// TestProcessBatchSIC: SIC's retained Λ[x0] and pruning still hold under
+// batching — checkpoint count stays logarithmic and the answer non-trivial.
+func TestProcessBatchSIC(t *testing.T) {
+	cfg := Config{K: 5, N: 200, L: 10, Beta: 0.2, Sparse: true,
+		Oracle: oracle.NewFactory(oracle.SieveStreaming, 0.2, nil)}
+	f := MustNew(cfg)
+	actions := batchTestActions(9, 1200, 30)
+	for lo := 0; lo < len(actions); lo += 25 {
+		hi := min(lo+25, len(actions))
+		if err := f.ProcessBatch(actions[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Value() <= 0 || len(f.Seeds()) == 0 {
+		t.Fatalf("degenerate SIC answer: value %v seeds %v", f.Value(), f.Seeds())
+	}
+	if got, dense := f.Checkpoints(), cfg.N/cfg.L; got >= dense {
+		t.Fatalf("SIC kept %d checkpoints, dense IC would keep %d — pruning inactive", got, dense)
+	}
+	if err := f.ProcessBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}

@@ -88,6 +88,13 @@ type Framework struct {
 	processed   int64 // actions ingested
 	lastCpStart stream.ActionID
 
+	// Batch-feed scratch (ProcessBatch): the distinct contributors of the
+	// current batch in first-touch order, with the per-contributor gain
+	// metadata that keeps the oracles' O(1) fast path alive under batching.
+	batchSeen    map[stream.UserID]int // contributor -> index into batchContrib
+	batchContrib []stream.UserID
+	batchGains   []batchGain
+
 	// Cumulative counters for the experiment harness.
 	cpCreated int64
 	cpDeleted int64

@@ -12,6 +12,7 @@ package greedy
 
 import (
 	"container/heap"
+	"sort"
 
 	"repro/internal/stream"
 	"repro/internal/submod"
@@ -27,8 +28,17 @@ type candidate struct {
 
 type queue []candidate
 
-func (q queue) Len() int            { return len(q) }
-func (q queue) Less(i, j int) bool  { return q[i].gain > q[j].gain }
+func (q queue) Len() int { return len(q) }
+
+// Less orders by gain, breaking ties on the user ID: user IDs are unique, so
+// the comparator is a strict total order and the pop sequence is
+// deterministic even though candidates are collected in map order.
+func (q queue) Less(i, j int) bool {
+	if q[i].gain != q[j].gain {
+		return q[i].gain > q[j].gain
+	}
+	return q[i].user < q[j].user
+}
 func (q queue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *queue) Push(x interface{}) { *q = append(*q, x.(candidate)) }
 func (q *queue) Pop() interface{} {
@@ -95,6 +105,9 @@ func Select(st *stream.Stream, start stream.ActionID, k int, w submod.Weights) (
 func SelectNaive(st *stream.Stream, start stream.ActionID, k int, w submod.Weights) ([]stream.UserID, float64) {
 	var users []stream.UserID
 	st.Influencers(start, func(u stream.UserID) bool { users = append(users, u); return true })
+	// Influencers iterates a map; sort so ties deterministically pick the
+	// lowest user ID (the strict > below keeps the first maximum seen).
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
 
 	var seeds []stream.UserID
 	chosen := map[stream.UserID]bool{}

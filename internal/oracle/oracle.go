@@ -16,6 +16,7 @@
 package oracle
 
 import (
+	"repro/internal/pool"
 	"repro/internal/stream"
 	"repro/internal/submod"
 )
@@ -117,11 +118,27 @@ func (k Kind) String() string {
 // approximation/efficiency knob of the sieve-style oracles (ignored by the
 // swap oracles), w the influence weights (nil = cardinality).
 func NewFactory(kind Kind, beta float64, w submod.Weights) Factory {
+	return NewParallelFactory(kind, beta, w, nil)
+}
+
+// NewParallelFactory is NewFactory with a worker pool shared by every oracle
+// the factory creates: the sieve-style oracles fan their per-element
+// instance sweep out across it, the swap oracles (single candidate, nothing
+// to fan out) ignore it. A nil pool keeps all oracles serial.
+func NewParallelFactory(kind Kind, beta float64, w submod.Weights, p *pool.Pool) Factory {
 	switch kind {
 	case SieveStreaming:
-		return func(k int) Oracle { return NewSieve(k, beta, w) }
+		return func(k int) Oracle {
+			s := NewSieve(k, beta, w)
+			s.SetPool(p)
+			return s
+		}
 	case ThresholdStream:
-		return func(k int) Oracle { return NewThreshold(k, beta, w) }
+		return func(k int) Oracle {
+			t := NewThreshold(k, beta, w)
+			t.SetPool(p)
+			return t
+		}
 	case BlogWatch:
 		return func(k int) Oracle { return NewSwap(k, w, false) }
 	case MkC:

@@ -1,0 +1,87 @@
+package oracle
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/pool"
+	"repro/internal/stream"
+	"repro/internal/submod"
+)
+
+// randomElements synthesizes a set-stream: users re-emit growing influence
+// sets, the way the checkpoint frameworks feed oracles.
+func randomElements(seed int64, users, rounds, maxSet int) []Element {
+	rng := rand.New(rand.NewSource(seed))
+	sets := make(map[stream.UserID][]stream.UserID, users)
+	var out []Element
+	for r := 0; r < rounds; r++ {
+		u := stream.UserID(rng.Intn(users))
+		v := stream.UserID(rng.Intn(maxSet))
+		grew := true
+		for _, w := range sets[u] {
+			if w == v {
+				grew = false
+				break
+			}
+		}
+		if grew {
+			sets[u] = append(sets[u], v)
+		}
+		set := append([]stream.UserID(nil), sets[u]...)
+		e := SliceElement(u, set)
+		if grew {
+			e.Latest, e.LatestValid = v, true
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestParallelSweepMatchesSerial asserts the tentpole invariant: fanning the
+// per-element instance sweep across a worker pool changes no admission
+// decision, so Value and Seeds are bit-identical to the serial sweep after
+// every element — for both sieve-style oracles, weighted and unweighted.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	p := pool.New(4)
+	defer p.Close()
+	weights := submod.WeightFunc(func(v stream.UserID) float64 {
+		return 1 + float64(v%5)/3
+	})
+	for _, kind := range []Kind{SieveStreaming, ThresholdStream} {
+		for _, w := range []submod.Weights{nil, weights} {
+			serial := NewFactory(kind, 0.1, w)(10)
+			parallel := NewParallelFactory(kind, 0.1, w, p)(10)
+			name := kind.String()
+			if w != nil {
+				name += "/weighted"
+			}
+			for i, e := range randomElements(7, 40, 3000, 200) {
+				serial.Process(e)
+				parallel.Process(e)
+				if sv, pv := serial.Value(), parallel.Value(); sv != pv {
+					t.Fatalf("%s: element %d: serial value %v != parallel value %v", name, i, sv, pv)
+				}
+			}
+			if ss, ps := serial.Seeds(), parallel.Seeds(); !reflect.DeepEqual(ss, ps) {
+				t.Fatalf("%s: seeds diverged: serial %v parallel %v", name, ss, ps)
+			}
+			if si, pi := serial.Stats().Instances, parallel.Stats().Instances; si != pi {
+				t.Fatalf("%s: instance counts diverged: %d vs %d", name, si, pi)
+			}
+		}
+	}
+}
+
+// TestSetPoolNilIsSerial exercises the explicit opt-out.
+func TestSetPoolNilIsSerial(t *testing.T) {
+	s := NewSieve(5, 0.2, nil)
+	s.SetPool(nil)
+	for _, e := range randomElements(3, 10, 200, 50) {
+		s.Process(e)
+	}
+	if s.Value() <= 0 {
+		t.Fatal("oracle made no progress")
+	}
+}

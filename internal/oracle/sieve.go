@@ -2,11 +2,17 @@ package oracle
 
 import (
 	"math"
+	"sync"
 
+	"repro/internal/pool"
 	"repro/internal/stream"
 	"repro/internal/submod"
 	"repro/internal/uintset"
 )
+
+// minParallelInsts is the instance count below which the per-element fan-out
+// is not worth the shard handoffs and the sweep stays on the caller.
+const minParallelInsts = 8
 
 // sieveInst is one candidate solution of SieveStreaming, associated with one
 // guess opt of the optimal value. It admits an element when the marginal
@@ -58,6 +64,12 @@ type Sieve struct {
 	elements int64
 	buf      []stream.UserID
 
+	// pool, when non-nil, fans the per-element instance sweep out across
+	// workers. Instances are mutually independent (each owns its coverage,
+	// seed set and gain cache), so the fan-out changes no admission decision:
+	// every instance still observes the elements in arrival order.
+	pool *pool.Pool
+
 	// bestVal/bestSeeds remember the best solution ever observed (kept
 	// monotone for SIC's Lemma 2: instance deletion during retune could
 	// otherwise make Value() dip; the remembered seed set stays valid
@@ -78,6 +90,25 @@ func NewSieve(k int, beta float64, w submod.Weights) *Sieve {
 		panic("oracle: beta must be in (0, 1)")
 	}
 	return &Sieve{k: k, beta: beta, w: w, logB: math.Log1p(beta)}
+}
+
+// SetPool installs the worker pool used for the per-element instance sweep.
+// A nil pool (the default) keeps the sweep serial — the exact legacy
+// behavior. The pool is shared, not owned: the oracle never closes it.
+func (s *Sieve) SetPool(p *pool.Pool) { s.pool = p }
+
+// lockedMaterialize adapts a lazy single-goroutine materializer for the
+// concurrent sweep: the first caller fills the element buffer under the
+// mutex, and the release/acquire pair hands every later caller the
+// happens-before edge that makes the buffer safe to read lock-free
+// afterwards (it is never written again once materialized).
+func lockedMaterialize(materialize func()) func() {
+	var mu sync.Mutex
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		materialize()
+	}
 }
 
 func (s *Sieve) weight(v stream.UserID) float64 {
@@ -120,8 +151,20 @@ func (s *Sieve) Process(e Element) {
 		s.m = singleton
 		s.retune()
 	}
-	for _, inst := range s.insts {
-		s.feed(inst, e, singleton, materialize)
+	if insts := s.insts; s.pool.Workers() > 1 && len(insts) >= minParallelInsts {
+		// Fan the sweep out across the pool. Each instance is touched by
+		// exactly one worker, so admission decisions and per-instance state
+		// are bit-identical to the serial sweep; only materialization needs
+		// the mutex-guarded wrapper because s.buf is shared read-mostly
+		// state. singleton is passed by value — the captured variable may be
+		// rewritten inside materialize.
+		feed := lockedMaterialize(materialize)
+		sv := singleton
+		s.pool.Run(len(insts), func(i int) { s.feed(insts[i], e, sv, feed) })
+	} else {
+		for _, inst := range s.insts {
+			s.feed(inst, e, singleton, materialize)
+		}
 	}
 	s.dirty = true
 }

@@ -3,6 +3,7 @@ package oracle
 import (
 	"math"
 
+	"repro/internal/pool"
 	"repro/internal/stream"
 	"repro/internal/submod"
 	"repro/internal/uintset"
@@ -40,6 +41,10 @@ type Threshold struct {
 	elements int64
 	buf      []stream.UserID
 
+	// pool fans the per-element instance sweep across workers; see the
+	// equivalent field in Sieve.
+	pool *pool.Pool
+
 	bestVal   float64
 	bestSeeds []stream.UserID
 	dirty     bool
@@ -56,6 +61,10 @@ func NewThreshold(k int, beta float64, w submod.Weights) *Threshold {
 	}
 	return &Threshold{k: k, beta: beta, w: w, logB: math.Log1p(beta)}
 }
+
+// SetPool installs the worker pool used for the per-element instance sweep;
+// nil (the default) keeps the sweep serial. The pool is shared, not owned.
+func (t *Threshold) SetPool(p *pool.Pool) { t.pool = p }
 
 func (t *Threshold) weight(v stream.UserID) float64 {
 	if t.w == nil {
@@ -94,8 +103,16 @@ func (t *Threshold) Process(e Element) {
 		t.m = singleton
 		t.retune()
 	}
-	for _, inst := range t.insts {
-		t.feed(inst, e, singleton, materialize)
+	if insts := t.insts; t.pool.Workers() > 1 && len(insts) >= minParallelInsts {
+		// Concurrent sweep over disjoint instances; bit-identical to the
+		// serial loop (see the equivalent branch in Sieve.Process).
+		feed := lockedMaterialize(materialize)
+		sv := singleton
+		t.pool.Run(len(insts), func(i int) { t.feed(insts[i], e, sv, feed) })
+	} else {
+		for _, inst := range t.insts {
+			t.feed(inst, e, singleton, materialize)
+		}
 	}
 	t.dirty = true
 }

@@ -1,0 +1,102 @@
+// Package pool provides a small persistent worker pool for data-parallel
+// loops over mutually independent shards — the concurrency substrate of the
+// parallel ingestion engine. The sieve-style checkpoint oracles maintain
+// O(log k / β) candidate instances that never share mutable state, so a
+// per-element offer can fan out across cores and join with no algorithmic
+// change; the pool keeps the workers parked between elements so the hot
+// path pays a channel handoff per shard instead of a goroutine spawn.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed set of persistent worker goroutines that execute parallel
+// for-loops submitted through Run. A nil *Pool is valid and runs every loop
+// serially on the caller's goroutine, which makes "no pool" the zero-cost
+// representation of Parallelism=1.
+//
+// Run may be called from multiple goroutines, but must not be called from
+// inside a function executing on the pool (workers joining on workers can
+// deadlock once all workers are occupied).
+type Pool struct {
+	workers int
+	tasks   chan func()
+	closed  sync.Once
+}
+
+// New returns a pool with n persistent workers, or nil — the serial pool —
+// when n <= 1 leaves nothing to fan out to. n == 0 selects GOMAXPROCS.
+func New(n int) *Pool {
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n <= 1 {
+		return nil
+	}
+	p := &Pool{workers: n, tasks: make(chan func(), n)}
+	// The submitting goroutine always runs shard 0 itself, so n-1 parked
+	// workers saturate n cores.
+	for i := 0; i < n-1; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for fn := range p.tasks {
+		fn()
+	}
+}
+
+// Workers returns the parallel width loops submitted to p run at (1 for the
+// nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes fn(0) … fn(n-1), partitioned into contiguous shards across
+// the pool's workers, and returns when every call has completed. The shard
+// executed by the calling goroutine means Run makes progress even if all
+// workers are busy with loops submitted by other callers. Calls of fn must
+// be safe to run concurrently with each other.
+func (p *Pool) Run(n int, fn func(i int)) {
+	shards := p.Workers()
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for s := 1; s < shards; s++ {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		p.tasks <- func() {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}
+	}
+	for i := 0; i < n/shards; i++ { // shard 0, on the caller
+		fn(i)
+	}
+	wg.Wait()
+}
+
+// Close releases the worker goroutines. Using the pool after Close panics;
+// closing a nil or already-closed pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.closed.Do(func() { close(p.tasks) })
+}

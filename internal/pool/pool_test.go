@@ -1,0 +1,82 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	var p *Pool
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", got)
+	}
+	order := []int{}
+	p.Run(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool order = %v, want 0..4 in order", order)
+		}
+	}
+	p.Close() // must not panic
+}
+
+func TestNewSmallWidthIsNil(t *testing.T) {
+	if New(1) != nil {
+		t.Fatal("New(1) should be the nil (serial) pool")
+	}
+	if New(-3) != nil {
+		t.Fatal("New(<0) should be the nil (serial) pool")
+	}
+}
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 17, 100, 1000} {
+		counts := make([]int32, n)
+		p.Run(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestRunParallelSum(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	const n = 10000
+	var sum int64
+	p.Run(n, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if want := int64(n) * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestRunReusableAcrossCalls(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	for round := 0; round < 50; round++ {
+		var hits int32
+		p.Run(7, func(int) { atomic.AddInt32(&hits, 1) })
+		if hits != 7 {
+			t.Fatalf("round %d: %d hits, want 7", round, hits)
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := New(2)
+	p.Close()
+	p.Close()
+}
+
+func TestWorkersCap(t *testing.T) {
+	if got := New(6).Workers(); got != 6 {
+		t.Fatalf("Workers = %d, want 6", got)
+	}
+	if New(0) != nil && New(0).Workers() < 1 {
+		t.Fatal("New(0) must select at least one worker")
+	}
+}

@@ -111,6 +111,13 @@ type Stream struct {
 	contribBuf []UserID
 	expireBuf  []UserID
 
+	// Batch ingestion scratch (see IngestBatch): one contributor arena for
+	// the whole batch plus the per-action offsets into it, so every Delta of
+	// a batch stays readable until the next ingestion call.
+	batchArena []UserID
+	batchOffs  []int
+	deltaBuf   []Delta
+
 	// Cumulative statistics over all ingested actions (not only retained
 	// ones); used to reproduce Table 3.
 	totalActions  int64
@@ -156,11 +163,23 @@ func (s *Stream) mark(u UserID) bool {
 // contribution logs, and returns the delta to feed to checkpoint oracles.
 // The returned Delta's Contributors slice is reused across calls.
 func (s *Stream) Ingest(a Action) (Delta, error) {
+	buf, depth, err := s.ingest(a, s.contribBuf[:0])
+	if err != nil {
+		return Delta{}, err
+	}
+	s.contribBuf = buf
+	return Delta{Action: a, Contributors: buf, Depth: depth}, nil
+}
+
+// ingest performs the per-action index and log maintenance shared by Ingest
+// and IngestBatch, appending the action's distinct contributors to arena and
+// returning the extended arena with the chain depth.
+func (s *Stream) ingest(a Action, arena []UserID) ([]UserID, int, error) {
 	if a.ID <= s.last {
-		return Delta{}, ErrNonMonotonicID
+		return arena, 0, ErrNonMonotonicID
 	}
 	if !a.Root() && a.Parent >= a.ID {
-		return Delta{}, ErrBadParent
+		return arena, 0, ErrBadParent
 	}
 	s.last = a.ID
 
@@ -181,10 +200,10 @@ func (s *Stream) Ingest(a Action) (Delta, error) {
 
 	// Resolve the ancestor chain and record contributions.
 	s.gen++
-	s.contribBuf = s.contribBuf[:0]
+	base := len(arena)
 	depth := 0
 	if s.mark(a.User) {
-		s.contribBuf = append(s.contribBuf, a.User)
+		arena = append(arena, a.User)
 	}
 	for pid := rec.parent; pid != NoParent; {
 		p, ok := s.idx[pid]
@@ -193,11 +212,11 @@ func (s *Stream) Ingest(a Action) (Delta, error) {
 		}
 		depth++
 		if s.mark(p.user) {
-			s.contribBuf = append(s.contribBuf, p.user)
+			arena = append(arena, p.user)
 		}
 		pid = p.parent
 	}
-	for _, u := range s.contribBuf {
+	for _, u := range arena[base:] {
 		l := s.logs[u]
 		if l == nil {
 			l = &userLog{}
@@ -214,7 +233,7 @@ func (s *Stream) Ingest(a Action) (Delta, error) {
 	}
 	s.userSet[a.User] = struct{}{}
 
-	return Delta{Action: a, Contributors: s.contribBuf, Depth: depth}, nil
+	return arena, depth, nil
 }
 
 // Advance raises the retention horizon: actions with ID < horizon are

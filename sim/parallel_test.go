@@ -1,0 +1,153 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/sim"
+)
+
+// rmatStream generates the SYN-O dataset at test scale: an R-MAT user graph
+// supplies the activity skew, exactly as in the paper's §6.1.
+func rmatStream(t *testing.T) []sim.Action {
+	t.Helper()
+	return gen.Stream(gen.SynO(800, 6000, 1500, 42))
+}
+
+// TestParallelMatchesSerial is the engine's core invariant, exercised under
+// -race in CI: parallel ingestion fans each checkpoint's mutually
+// independent sieve instances across a worker pool without changing any
+// admission decision, so seed sets and influence values are bit-identical
+// to the serial run at every slide boundary of an RMAT-generated stream.
+func TestParallelMatchesSerial(t *testing.T) {
+	actions := rmatStream(t)
+	for _, fw := range []sim.Framework{sim.SIC, sim.IC} {
+		for _, orc := range []sim.Oracle{sim.SieveStreaming, sim.ThresholdStream} {
+			cfg := sim.Config{K: 8, WindowSize: 1500, Slide: 100, Beta: 0.1, Framework: fw, Oracle: orc}
+			serial, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Parallelism = 4
+			parallel, err := sim.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer parallel.Close()
+
+			for i, a := range actions {
+				if err := serial.Process(a); err != nil {
+					t.Fatal(err)
+				}
+				if err := parallel.Process(a); err != nil {
+					t.Fatal(err)
+				}
+				if (i+1)%100 != 0 {
+					continue
+				}
+				if sv, pv := serial.Value(), parallel.Value(); sv != pv {
+					t.Fatalf("%v/%v: action %d: serial value %v != parallel value %v", fw, orc, i+1, sv, pv)
+				}
+				if ss, ps := serial.Seeds(), parallel.Seeds(); !reflect.DeepEqual(ss, ps) {
+					t.Fatalf("%v/%v: action %d: seed sets diverged:\nserial   %v\nparallel %v", fw, orc, i+1, ss, ps)
+				}
+			}
+			if ss, ps := serial.Stats(), parallel.Stats(); ss != ps {
+				t.Fatalf("%v/%v: stats diverged: %+v vs %+v", fw, orc, ss, ps)
+			}
+		}
+	}
+}
+
+// TestBatchedIngestion checks the batched path end to end: queries flush
+// (exactness for everything Processed), window position tracks the serial
+// run, and a fixed configuration is deterministic across runs.
+func TestBatchedIngestion(t *testing.T) {
+	actions := rmatStream(t)
+	mk := func(batch int) *sim.Tracker {
+		tr, err := sim.New(sim.Config{K: 8, WindowSize: 1500, Slide: 100, Beta: 0.1, BatchSize: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	serial, b1, b2 := mk(1), mk(100), mk(100)
+	for _, a := range actions {
+		for _, tr := range []*sim.Tracker{serial, b1, b2} {
+			if err := tr.Process(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Queries flush: mid-batch state must still answer for every action.
+	if s, b := serial.Processed(), b1.Processed(); s != b {
+		t.Fatalf("processed diverged: %d vs %d", s, b)
+	}
+	if s, b := serial.WindowStart(), b1.WindowStart(); s != b {
+		t.Fatalf("window start diverged: %d vs %d", s, b)
+	}
+	if b1.Value() <= 0 || len(b1.Seeds()) == 0 {
+		t.Fatalf("degenerate batched answer: value %v seeds %v", b1.Value(), b1.Seeds())
+	}
+	// Same config, same stream → identical results (determinism).
+	if v1, v2 := b1.Value(), b2.Value(); v1 != v2 {
+		t.Fatalf("batched runs nondeterministic: %v vs %v", v1, v2)
+	}
+	if s1, s2 := b1.Seeds(), b2.Seeds(); !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("batched runs nondeterministic: %v vs %v", s1, s2)
+	}
+	// Coarser elements stay within the guarantee band of the serial value.
+	if sv, bv := serial.Value(), b1.Value(); bv < 0.5*sv || bv > 2*sv {
+		t.Fatalf("batched value %v implausibly far from serial %v", bv, sv)
+	}
+}
+
+// TestBatchedErrorsSurfaceAtProcess: validation happens on entry, so a bad
+// action fails its own Process call even when buffered.
+func TestBatchedErrorsSurfaceAtProcess(t *testing.T) {
+	tr, err := sim.New(sim.Config{K: 2, WindowSize: 100, BatchSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Process(sim.Action{ID: 10, User: 1, Parent: sim.NoParent}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Process(sim.Action{ID: 10, User: 2, Parent: sim.NoParent}); err == nil {
+		t.Fatal("duplicate ID accepted into batch buffer")
+	}
+	if err := tr.Process(sim.Action{ID: 11, User: 2, Parent: 12}); err == nil {
+		t.Fatal("future parent accepted into batch buffer")
+	}
+	if err := tr.Process(sim.Action{ID: 12, User: 2, Parent: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Processed(); got != 2 {
+		t.Fatalf("Processed = %d, want 2", got)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelBatchedCombined: both options together, closed cleanly.
+func TestParallelBatchedCombined(t *testing.T) {
+	tr, err := sim.New(sim.Config{K: 6, WindowSize: 1000, Slide: 50, Parallelism: 3, BatchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range rmatStream(t)[:3000] {
+		if err := tr.Process(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Value() <= 0 {
+		t.Fatal("combined parallel+batched tracker made no progress")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

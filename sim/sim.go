@@ -16,6 +16,16 @@
 //	    if err := tr.Process(a); err != nil { ... }
 //	    seeds := tr.Seeds() // current influential users
 //	}
+//
+// The ingestion hot path scales with cores through two Config options, both
+// defaulting to the exact legacy serial behavior: Parallelism (default 1)
+// fans the per-element sweep over each checkpoint oracle's independent
+// candidate instances across a worker pool, with bit-identical results at
+// any width; BatchSize (default 1) groups actions so the stream index,
+// oracle feeding and window maintenance amortize across a batch, with
+// results exact at batch boundaries and every query flushing first.
+// Trackers with Parallelism > 1 own worker goroutines — release them with
+// Close.
 package sim
 
 import (
@@ -23,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/oracle"
+	"repro/internal/pool"
 	"repro/internal/stream"
 	"repro/internal/submod"
 )
@@ -140,17 +151,46 @@ type Config struct {
 	// An extension beyond the paper; the approximation guarantees carry
 	// over because expiry is timestamp-driven either way.
 	TimeBased bool
+	// Parallelism is the number of worker goroutines the sieve-style
+	// checkpoint oracles fan their per-element instance sweep across. The
+	// O(log K / Beta) candidate instances per checkpoint are mutually
+	// independent, so the fan-out changes no admission decision: results
+	// are bit-identical to the serial path at any width. 1 (or 0, the zero
+	// value) keeps the exact legacy serial path; a negative value selects
+	// GOMAXPROCS. Ignored by the swap oracles (BlogWatch, MkC), which keep
+	// a single candidate. Trackers with Parallelism > 1 own worker
+	// goroutines; call Close to release them.
+	Parallelism int
+	// BatchSize groups ingested actions: Process enqueues, and every
+	// BatchSize actions the whole group is ingested at once, feeding each
+	// checkpoint one element per distinct contributor of the batch instead
+	// of one per contributing action and running window maintenance once
+	// per batch. 1 (or 0, the zero value) is exact per-action legacy
+	// behavior. With larger batches the oracles see the same monotone
+	// influence-set growth at coarser granularity, so approximation
+	// guarantees hold but seed sets may differ from the serial run within
+	// the guarantee band; queries (Seeds, Value, …) flush pending actions
+	// first and are therefore always exact for everything Processed.
+	BatchSize int
 }
 
 // Tracker continuously answers one SIM query. It is not safe for concurrent
-// use.
+// use: Parallelism only fans out the internal oracle updates of a single
+// Process call.
 type Tracker struct {
 	fw     *core.Framework
 	filter func(Action) bool
 	orc    Oracle
+	pool   *pool.Pool
+
+	batchSize int
+	batch     []Action
+	lastID    ActionID // newest accepted ID, including still-buffered ones
 }
 
-// New validates cfg and returns a ready Tracker.
+// New validates cfg and returns a ready Tracker. If cfg.Parallelism is
+// above 1 the tracker owns worker goroutines; release them with Close when
+// the tracker is no longer needed.
 func New(cfg Config) (*Tracker, error) {
 	if cfg.Beta == 0 {
 		cfg.Beta = 0.1
@@ -161,32 +201,70 @@ func New(cfg Config) (*Tracker, error) {
 	if cfg.Oracle < SieveStreaming || cfg.Oracle > MkC {
 		return nil, fmt.Errorf("sim: unknown oracle %d", int(cfg.Oracle))
 	}
+	if cfg.BatchSize < 0 {
+		return nil, fmt.Errorf("sim: BatchSize must be >= 0, got %d", cfg.BatchSize)
+	}
+	par := cfg.Parallelism
+	if par < 0 {
+		par = 0 // pool.New(0) selects GOMAXPROCS
+	} else if par == 0 {
+		par = 1 // the documented default: serial
+	}
+	p := pool.New(par)
 	fw, err := core.New(core.Config{
 		K:      cfg.K,
 		N:      cfg.WindowSize,
 		L:      cfg.Slide,
 		Beta:   cfg.Beta,
-		Oracle: oracle.NewFactory(cfg.Oracle.kind(), cfg.Beta, cfg.Weights),
+		Oracle: oracle.NewParallelFactory(cfg.Oracle.kind(), cfg.Beta, cfg.Weights, p),
 		Sparse: cfg.Framework == SIC,
 		ByTime: cfg.TimeBased,
 	})
 	if err != nil {
+		p.Close()
 		return nil, err
 	}
-	return &Tracker{fw: fw, filter: cfg.Filter, orc: cfg.Oracle}, nil
+	bs := cfg.BatchSize
+	if bs == 0 {
+		bs = 1
+	}
+	return &Tracker{fw: fw, filter: cfg.Filter, orc: cfg.Oracle, pool: p, batchSize: bs, lastID: -1}, nil
 }
 
 // Process ingests one action. Actions must arrive with strictly increasing
 // IDs; an action referencing itself or a future action as parent is
-// rejected. Filtered-out actions are silently skipped.
+// rejected. Filtered-out actions are silently skipped. With BatchSize > 1
+// the action may be buffered; it is fully applied by the time the batch
+// fills, Flush is called, or any query method runs.
 func (t *Tracker) Process(a Action) error {
 	if t.filter != nil && !t.filter(a) {
 		return nil
 	}
-	return t.fw.Process(a)
+	if t.batchSize <= 1 {
+		if err := t.fw.Process(a); err != nil {
+			return err
+		}
+		t.lastID = a.ID
+		return nil
+	}
+	// Validate on entry so errors surface at the offending Process call,
+	// never from a later flush.
+	if a.ID <= t.lastID {
+		return stream.ErrNonMonotonicID
+	}
+	if !a.Root() && a.Parent >= a.ID {
+		return stream.ErrBadParent
+	}
+	t.lastID = a.ID
+	t.batch = append(t.batch, a)
+	if len(t.batch) >= t.batchSize {
+		return t.Flush()
+	}
+	return nil
 }
 
-// ProcessAll ingests a batch of actions, stopping at the first error.
+// ProcessAll ingests a slice of actions, stopping at the first error. With
+// BatchSize > 1 the slice is cut directly into ingestion batches.
 func (t *Tracker) ProcessAll(actions []Action) error {
 	for _, a := range actions {
 		if err := t.Process(a); err != nil {
@@ -196,26 +274,63 @@ func (t *Tracker) ProcessAll(actions []Action) error {
 	return nil
 }
 
+// Flush applies any actions still buffered by batching. It is a no-op when
+// the buffer is empty or BatchSize is 1.
+func (t *Tracker) Flush() error {
+	if len(t.batch) == 0 {
+		return nil
+	}
+	batch := t.batch
+	t.batch = t.batch[:0]
+	return t.fw.ProcessBatch(batch)
+}
+
+// flushed drains the batch buffer before a query. Buffered actions were
+// validated by Process, so ingestion cannot fail; a failure here means
+// internal state corruption.
+func (t *Tracker) flushed() *core.Framework {
+	if err := t.Flush(); err != nil {
+		panic(fmt.Sprintf("sim: flush of validated batch failed: %v", err))
+	}
+	return t.fw
+}
+
+// Close releases the tracker's worker goroutines (a no-op for serial
+// trackers) and flushes any buffered actions. The tracker remains queryable
+// after Close, but further Process calls on a Parallelism > 1 tracker will
+// panic; it is safe to omit Close for process-lifetime trackers.
+func (t *Tracker) Close() error {
+	err := t.Flush()
+	t.pool.Close()
+	return err
+}
+
 // Seeds returns the current solution: at most K users who (approximately)
 // maximize the influence objective over the current window. The slice is
-// owned by the Tracker and valid until the next Process call.
-func (t *Tracker) Seeds() []UserID { return t.fw.Seeds() }
+// owned by the Tracker and valid until the next Process call. Buffered
+// actions are flushed first, so the answer always covers everything
+// Processed.
+func (t *Tracker) Seeds() []UserID { return t.flushed().Seeds() }
 
 // Value returns the influence objective of the current solution as
-// maintained by the answering checkpoint.
-func (t *Tracker) Value() float64 { return t.fw.Value() }
+// maintained by the answering checkpoint. Buffered actions are flushed
+// first.
+func (t *Tracker) Value() float64 { return t.flushed().Value() }
 
 // InfluenceSet returns the users currently influenced by u within the
-// window (Definition 1 of the paper).
+// window (Definition 1 of the paper). Buffered actions are flushed first.
 func (t *Tracker) InfluenceSet(u UserID) []UserID {
-	return t.fw.Stream().InfluenceSet(u, t.fw.WindowStart())
+	fw := t.flushed()
+	return fw.Stream().InfluenceSet(u, fw.WindowStart())
 }
 
 // WindowStart returns the ID of the first action of the current window.
-func (t *Tracker) WindowStart() ActionID { return t.fw.WindowStart() }
+// Buffered actions are flushed first.
+func (t *Tracker) WindowStart() ActionID { return t.flushed().WindowStart() }
 
-// Processed returns the number of accepted (unfiltered) actions.
-func (t *Tracker) Processed() int64 { return t.fw.Processed() }
+// Processed returns the number of accepted (unfiltered) actions, including
+// any still buffered by batching.
+func (t *Tracker) Processed() int64 { return t.fw.Processed() + int64(len(t.batch)) }
 
 // Stats summarizes the tracker's internal state.
 type Stats struct {
@@ -233,9 +348,10 @@ type Stats struct {
 	ElementsFed int64
 }
 
-// Stats returns a snapshot of maintenance counters.
+// Stats returns a snapshot of maintenance counters. Buffered actions are
+// flushed first.
 func (t *Tracker) Stats() Stats {
-	fs := t.fw.Stats()
+	fs := t.flushed().Stats()
 	fwk := IC
 	if t.fw.Config().Sparse {
 		fwk = SIC
@@ -251,5 +367,6 @@ func (t *Tracker) Stats() Stats {
 }
 
 // Internal returns the underlying framework for the benchmark harness and
-// white-box examples. Treat it as read-only.
-func (t *Tracker) Internal() *core.Framework { return t.fw }
+// white-box examples, flushing buffered actions first. Treat it as
+// read-only.
+func (t *Tracker) Internal() *core.Framework { return t.flushed() }
