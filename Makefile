@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json fmt fmt-check vet ci
 
 all: build
 
@@ -15,9 +15,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One iteration per benchmark: a smoke run of every table/figure generator.
+# One iteration per benchmark: a smoke run of every table/figure generator,
+# with -benchmem so per-op allocations are visible.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x ./...
+
+# Machine-readable benchmark snapshot of the streaming hot path (ns/op,
+# allocs/op, B/op, actions/sec). Commit the output as BENCH_<PR>.json to
+# extend the cross-PR performance trajectory; CI uploads the same file as a
+# workflow artifact.
+BENCH_JSON ?= BENCH_PR2.json
+bench-json:
+	$(GO) run ./cmd/simbench -exp tput,par -scale smoke -json $(BENCH_JSON)
 
 fmt:
 	gofmt -w .

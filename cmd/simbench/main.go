@@ -8,10 +8,14 @@
 //	simbench -scale smoke          # fast pass (seconds, coarser numbers)
 //	simbench -window 20000 -k 50   # override individual sizes
 //	simbench -exp par              # parallel/batched ingestion scaling
-//	simbench -parallelism 4 -batch 100 -exp fig7   # parallel engine for any run
+//	simbench -parallelism 4 -batch 100 -exp fig7   # sharded engine for any run
+//	simbench -exp tput,par -json BENCH.json        # machine-readable snapshot
 //
 // Experiment IDs: table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// par (parallel ingestion scaling, an extension beyond the paper).
+// par (checkpoint-sharded ingestion scaling) and tput (hot-path ns/allocs/B
+// per action), both extensions beyond the paper. -json writes every run's
+// metrics as a Snapshot (see internal/bench.WriteJSON), the format committed
+// as BENCH_<PR>.json to track performance across PRs.
 // See DESIGN.md §5 for the mapping from each ID to the paper's artefact and
 // EXPERIMENTS.md for recorded paper-vs-measured results.
 package main
@@ -39,8 +43,9 @@ func main() {
 		mc      = flag.Int("mc", 0, "override Monte-Carlo rounds")
 		samples = flag.Int("samples", 0, "override quality sample count")
 		seed    = flag.Int64("seed", 0, "override random seed")
-		par     = flag.Int("parallelism", 0, "oracle worker-pool width for streaming runs (1 = serial, -1 = GOMAXPROCS)")
+		par     = flag.Int("parallelism", 0, "checkpoint-shard worker width for streaming runs (1 = serial, -1 = GOMAXPROCS)")
 		batch   = flag.Int("batch", 0, "ingestion batch size for streaming runs (1 = per-action)")
+		jsonOut = flag.String("json", "", "write a machine-readable benchmark snapshot (ns/op, allocs/op, B/op, actions/sec per experiment) to this file")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -110,10 +115,27 @@ func main() {
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
-		if err := bench.Run(id, sc, os.Stdout); err != nil {
+		if err := bench.RunMeasured(id, sc, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("[%s finished in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		werr := bench.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "simbench: writing %s: %v\n", *jsonOut, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("[benchmark snapshot written to %s]\n", *jsonOut)
 	}
 }

@@ -50,14 +50,13 @@ func runCore(ds Dataset, cfg core.Config) runMetrics {
 	return m
 }
 
-// strippedOracle removes the Latest/Size element metadata before delegating,
-// forcing the delegate onto its full-materialization slow path. It isolates
+// strippedOracle removes the Latest element metadata before delegating,
+// forcing seed-coverage updates onto the full re-merge path. It isolates
 // the contribution of the O(1) seed-update fast path.
 type strippedOracle struct{ o oracle.Oracle }
 
 func (s strippedOracle) Process(e oracle.Element) {
 	e.LatestValid = false
-	e.Size = -1
 	s.o.Process(e)
 }
 func (s strippedOracle) Value() float64         { return s.o.Value() }
@@ -100,7 +99,7 @@ func init() {
 
 	register(Experiment{
 		ID:    "abl-fastpath",
-		Title: "Ablation: element-metadata fast path (Latest/Size) on vs off",
+		Title: "Ablation: element-metadata fast path (Latest) on vs off",
 		Run: func(sc Scale) Table {
 			s := shrink(sc, 2)
 			t := Table{

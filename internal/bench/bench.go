@@ -146,6 +146,13 @@ func Datasets(sc Scale) []Dataset {
 	return out
 }
 
+// synODataset materializes only the SYN-O stream — for experiments that
+// need just the paper's headline dataset, without generating all four.
+func synODataset(sc Scale) Dataset {
+	c := gen.SynO(sc.Users, sc.StreamLen, sc.Window, sc.Seed)
+	return Dataset{Name: c.Name, Users: c.Users, Actions: gen.Stream(c)}
+}
+
 // Experiment is a registered reproduction target.
 type Experiment struct {
 	ID    string
@@ -177,7 +184,10 @@ func Lookup(id string) (Experiment, bool) {
 	return e, ok
 }
 
-// Run executes one experiment and prints its table.
+// Run executes one experiment and prints its table. Streaming experiments
+// (tput, par) record fine-grained per-configuration rows into the JSON
+// collector as they run; use RunMeasured to additionally record a
+// whole-experiment "total" row.
 func Run(id string, sc Scale, w io.Writer) error {
 	e, ok := Lookup(id)
 	if !ok {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -123,7 +124,7 @@ func TestRunThroughputCoversAllMethods(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"abl-fastpath", "abl-greedy", "abl-oracle", "fig10", "fig11", "fig12", "fig2-4", "fig5", "fig6", "fig7", "fig8", "fig9", "par", "table2", "table3"}
+	want := []string{"abl-fastpath", "abl-greedy", "abl-oracle", "fig10", "fig11", "fig12", "fig2-4", "fig5", "fig6", "fig7", "fig8", "fig9", "par", "table2", "table3", "tput"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %d, want %d", len(got), len(want))
@@ -141,9 +142,57 @@ func TestRegistryComplete(t *testing.T) {
 	}
 }
 
+func TestTputRecordsJSONMetrics(t *testing.T) {
+	ResetMetrics()
+	defer ResetMetrics()
+	sc := ScaleSmoke()
+	var tab bytes.Buffer
+	if err := RunMeasured("tput", sc, &tab); err != nil {
+		t.Fatal(err)
+	}
+	recs := Metrics()
+	// 4 per-config rows + 1 whole-experiment total.
+	if len(recs) != 5 {
+		t.Fatalf("records = %d, want 5: %+v", len(recs), recs)
+	}
+	streaming := 0
+	for _, r := range recs {
+		if r.Experiment != "tput" {
+			t.Errorf("record experiment = %q, want tput", r.Experiment)
+		}
+		if r.NsPerOp <= 0 || r.AllocsPerOp <= 0 || r.BytesPerOp <= 0 {
+			t.Errorf("record %q has non-positive metrics: %+v", r.Name, r)
+		}
+		if r.Name != "total" {
+			streaming++
+			if r.ActionsPerSec <= 0 {
+				t.Errorf("streaming record %q missing actions/sec: %+v", r.Name, r)
+			}
+		}
+	}
+	if streaming != 4 {
+		t.Errorf("streaming records = %d, want 4", streaming)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v\n%s", err, buf.String())
+	}
+	if snap.GoVersion == "" || snap.NumCPU < 1 || len(snap.Records) != len(recs) {
+		t.Fatalf("snapshot incomplete: %+v", snap)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := Run("nope", ScaleSmoke(), &bytes.Buffer{}); err == nil {
 		t.Fatal("expected error")
+	}
+	if err := RunMeasured("nope", ScaleSmoke(), &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error from RunMeasured")
 	}
 }
 

@@ -300,10 +300,7 @@ func runTable2(sc Scale) Table {
 				panic(err)
 			}
 			for _, u := range d.Contributors {
-				u := u
-				o.Process(oracle.Element{User: u, ForEach: func(visit func(stream.UserID) bool) {
-					st.Influence(u, 1, visit)
-				}})
+				o.Process(oracle.Element{User: u, Prefix: st.InfluenceRecency(u, 1)})
 				elems++
 			}
 		}

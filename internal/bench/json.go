@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Record is one machine-readable benchmark measurement, mirroring the
+// testing.B vocabulary (ns/op, allocs/op, B/op) plus the streaming
+// throughput the paper plots. Experiment is the registered experiment ID;
+// Name distinguishes rows within one experiment (a configuration label, or
+// "total" for the whole-experiment aggregate). The unit of "op" is one
+// ingested action for streaming rows and one full experiment run for
+// "total" rows.
+type Record struct {
+	Experiment    string  `json:"experiment"`
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	ActionsPerSec float64 `json:"actions_per_sec,omitempty"`
+	AvgValue      float64 `json:"avg_value,omitempty"`
+}
+
+// Snapshot is the committed BENCH_*.json shape: enough environment context
+// to compare trajectories across PRs, plus the records.
+type Snapshot struct {
+	GoVersion string   `json:"go_version"`
+	GoOS      string   `json:"goos"`
+	GoArch    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Records   []Record `json:"records"`
+}
+
+// collected accumulates records as experiments run. The harness is
+// single-threaded (experiments run sequentially), so a plain slice suffices.
+var collected []Record
+
+// record appends one measurement to the in-process collector.
+func record(r Record) { collected = append(collected, r) }
+
+// ResetMetrics clears the in-process collector.
+func ResetMetrics() { collected = nil }
+
+// Metrics returns the records collected since the last ResetMetrics, sorted
+// by (experiment, name) for stable output.
+func Metrics() []Record {
+	out := append([]Record(nil), collected...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Experiment != out[j].Experiment {
+			return out[i].Experiment < out[j].Experiment
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteJSON writes the collected metrics as an indented JSON Snapshot —
+// the format committed as BENCH_<PR>.json and uploaded as a CI artifact, so
+// future PRs can rerun the same experiments and diff the trajectory.
+func WriteJSON(w io.Writer) error {
+	snap := Snapshot{
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Records:   Metrics(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// RunMeasured is Run plus a whole-experiment "total" record (wall time and
+// heap allocations for the full regeneration, measured around the run with
+// a forced GC). It is what cmd/simbench uses, so every experiment of a
+// -json invocation leaves a trace in the snapshot. Tests and testing.B
+// benchmarks call the plain Run, which performs no measurement — a forced
+// GC per b.N iteration would distort the very numbers they report.
+func RunMeasured(id string, sc Scale, w io.Writer) error {
+	if _, ok := Lookup(id); !ok {
+		return fmt.Errorf("bench: unknown experiment %q", id)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	err := Run(id, sc, w)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if err == nil {
+		record(Record{
+			Experiment:  id,
+			Name:        "total",
+			NsPerOp:     float64(elapsed.Nanoseconds()),
+			AllocsPerOp: float64(m1.Mallocs - m0.Mallocs),
+			BytesPerOp:  float64(m1.TotalAlloc - m0.TotalAlloc),
+		})
+	}
+	return err
+}
+
+// recordRun stores one streaming run's metrics under (experiment, name).
+func recordRun(experiment, name string, m runMetrics) {
+	record(Record{
+		Experiment:    experiment,
+		Name:          name,
+		NsPerOp:       m.NsPerAction,
+		AllocsPerOp:   m.AllocsPerAction,
+		BytesPerOp:    m.BytesPerAction,
+		ActionsPerSec: m.Throughput,
+		AvgValue:      m.AvgValue,
+	})
+}

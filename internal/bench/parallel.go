@@ -8,9 +8,10 @@ import (
 )
 
 // The parallel-scaling experiment is an extension beyond the paper: it
-// measures the parallel sieve-oracle ingestion engine (worker-pool instance
-// sweep + batched ingestion) against the serial per-action baseline on the
-// RMAT-driven SYN-O stream under SIC, the paper's headline configuration.
+// measures the checkpoint-sharded feed engine (every live checkpoint's
+// oracle shards flattened into one parallel loop per element, plus batched
+// ingestion) against the serial per-action baseline on the RMAT-driven
+// SYN-O stream under SIC, the paper's headline configuration.
 func init() {
 	register(Experiment{
 		ID:    "par",
@@ -20,7 +21,7 @@ func init() {
 }
 
 func runParScaling(sc Scale) Table {
-	ds := Datasets(sc)[2] // SYN-O
+	ds := synODataset(sc)
 	type cfg struct {
 		par, batch int
 	}
@@ -37,6 +38,7 @@ func runParScaling(sc Scale) Table {
 	base := 0.0
 	for _, c := range cfgs {
 		m := runFramework(ds, sim.SIC, sc.K, sc.Window, sc.Slide, sc.Beta, c.par, c.batch)
+		recordRun("par", fmt.Sprintf("SIC/p%d/b%d", c.par, c.batch), m)
 		if base == 0 {
 			base = m.Throughput
 		}

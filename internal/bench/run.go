@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/graph"
@@ -21,6 +22,15 @@ type runMetrics struct {
 	AvgCheckpoints float64
 	// Throughput is actions per second after warm-up (Figs 7, 9–12).
 	Throughput float64
+	// NsPerAction is mean wall time per action after warm-up (1e9/Throughput).
+	NsPerAction float64
+	// AllocsPerAction and BytesPerAction are mean heap allocations per
+	// ingested action over the WHOLE ingest loop (warm-up included; tracker
+	// construction excluded — measurement starts after sim.New), measured
+	// with runtime.ReadMemStats. Pool workers' allocations are included.
+	// They back the tput experiment and the BENCH_*.json trajectory.
+	AllocsPerAction float64
+	BytesPerAction  float64
 }
 
 // runFramework streams ds through one tracker configuration, measuring
@@ -46,6 +56,9 @@ func runFramework(ds Dataset, fw sim.Framework, k, n, l int, beta float64, paral
 	var sumVal, sumCp float64
 	var boundaries int
 	var elapsed time.Duration
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	for i, a := range ds.Actions {
 		timed := i >= warm
 		boundary := (i+1)%l == 0
@@ -67,6 +80,8 @@ func runFramework(ds Dataset, fw sim.Framework, k, n, l int, beta float64, paral
 			boundaries++
 		}
 	}
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
 	m := runMetrics{}
 	if boundaries > 0 {
 		m.AvgValue = sumVal / float64(boundaries)
@@ -74,6 +89,11 @@ func runFramework(ds Dataset, fw sim.Framework, k, n, l int, beta float64, paral
 	}
 	if timedActions := len(ds.Actions) - warm; timedActions > 0 && elapsed > 0 {
 		m.Throughput = float64(timedActions) / elapsed.Seconds()
+		m.NsPerAction = float64(elapsed.Nanoseconds()) / float64(timedActions)
+	}
+	if n := len(ds.Actions); n > 0 {
+		m.AllocsPerAction = float64(m1.Mallocs-m0.Mallocs) / float64(n)
+		m.BytesPerAction = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n)
 	}
 	return m
 }

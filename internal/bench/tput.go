@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/sim"
+)
+
+// The tput experiment is the streaming-throughput hot path in isolation: IC
+// and SIC ingesting the RMAT-driven SYN-O stream, serial and
+// checkpoint-sharded, reporting the testing.B-style ns/op, allocs/op and
+// B/op per ingested action alongside actions/sec. It is the anchor of the
+// BENCH_*.json trajectory: every PR reruns it (make bench-json) and commits
+// the snapshot, so per-action allocation regressions are visible in review.
+func init() {
+	register(Experiment{
+		ID:    "tput",
+		Title: "Streaming ingestion hot path: ns, allocs and bytes per action",
+		Run:   runTput,
+	})
+}
+
+func runTput(sc Scale) Table {
+	ds := synODataset(sc)
+	type cfg struct {
+		fw         sim.Framework
+		par, batch int
+	}
+	cfgs := []cfg{
+		{sim.SIC, 1, 1},
+		{sim.IC, 1, 1},
+		{sim.SIC, sharedWidth(sc), 1},
+		{sim.SIC, 1, sc.Slide},
+	}
+	t := Table{
+		ID:     "tput",
+		Title:  "Streaming ingestion hot path (SYN-O)",
+		Header: []string{"config", "actions/s", "ns/op", "allocs/op", "B/op", "avg value"},
+		Notes: []string{
+			fmt.Sprintf("GOMAXPROCS=%d; op = one ingested action; allocs measured over the whole run via runtime.MemStats", runtime.GOMAXPROCS(0)),
+			"rows are recorded in the JSON snapshot (simbench -json / make bench-json) as the cross-PR perf trajectory",
+		},
+	}
+	for _, c := range cfgs {
+		name := fmt.Sprintf("%v/p%d/b%d", c.fw, c.par, c.batch)
+		m := runFramework(ds, c.fw, sc.K, sc.Window, sc.Slide, sc.Beta, c.par, c.batch)
+		recordRun("tput", name, m)
+		t.Rows = append(t.Rows, []string{
+			name, f1(m.Throughput), f1(m.NsPerAction), f1(m.AllocsPerAction),
+			f1(m.BytesPerAction), f1(m.AvgValue),
+		})
+	}
+	return t
+}
+
+// sharedWidth picks the parallel width for tput's sharded row: the Scale's
+// configured parallelism when set above 1, else a FIXED width of 4. The
+// fallback is deliberately host-independent — the row's name is the join
+// key of the cross-PR BENCH_*.json trajectory, so it must not vary with
+// the machine's core count (speed varies across hosts regardless; the
+// allocs/op column is the stable signal).
+func sharedWidth(sc Scale) int {
+	if sc.Parallelism > 1 {
+		return sc.Parallelism
+	}
+	return 4
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/oracle"
 	"repro/internal/stream"
 )
 
@@ -55,7 +54,7 @@ func (f *Framework) ProcessBatch(actions []stream.Action) error {
 			create = f.processed%int64(f.cfg.L) == 0
 		}
 		if create {
-			f.cps = append(f.cps, &checkpoint{start: a.ID, oracle: f.cfg.Oracle(f.cfg.K)})
+			f.cps = append(f.cps, newCheckpoint(a.ID, f.cfg.Oracle(f.cfg.K)))
 			f.lastCpStart = a.ID
 			f.cpCreated++
 		}
@@ -96,35 +95,15 @@ func (f *Framework) ProcessBatch(actions []stream.Action) error {
 	}
 
 	// Feed each contributor's post-batch influence set to every checkpoint
-	// through the Set-Stream Mapping. One recency-sorted materialization per
-	// contributor serves every checkpoint as a prefix, exactly as in
-	// Process. A contributor that gained members from several distinct
+	// through the Set-Stream Mapping (feedContributor: one recency-sorted
+	// materialization per contributor serves every checkpoint as a prefix,
+	// with the fan-out checkpoint-sharded across the pool exactly as in
+	// Process). A contributor that gained members from several distinct
 	// performers is fed without Latest metadata and seed updates fall back
 	// to a full merge.
-	oldest := f.cps[0].start
 	for i, u := range f.batchContrib {
 		g := f.batchGains[i]
-		list := f.st.InfluenceRecency(u, oldest)
-		for _, cp := range f.cps {
-			prefix := stream.PrefixFor(list, cp.start)
-			if len(prefix) == 0 {
-				continue
-			}
-			cp.oracle.Process(oracle.Element{
-				User:        u,
-				Latest:      g.latest,
-				LatestValid: !g.multi,
-				Size:        len(prefix),
-				ForEach: func(visit func(stream.UserID) bool) {
-					for _, c := range prefix {
-						if !visit(c.V) {
-							return
-						}
-					}
-				},
-			})
-			f.elemFed++
-		}
+		f.feedContributor(u, g.latest, !g.multi)
 	}
 
 	// Batch-boundary maintenance: expiry, SIC pruning and horizon advance

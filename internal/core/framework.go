@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/oracle"
+	"repro/internal/pool"
 	"repro/internal/stream"
 )
 
@@ -48,6 +49,18 @@ type Config struct {
 	// guarantees carry over unchanged — the checkpoints still cover exactly
 	// the suffixes of the current window.
 	ByTime bool
+	// Pool, when non-nil, parallelizes the per-action fan-out: each
+	// contributor's element is offered to the shards of every live
+	// checkpoint whose oracle implements oracle.Sharded through one Pool.Run
+	// call, so the parallel width is the sum of all checkpoints' shard
+	// counts. Shards of one oracle — and distinct checkpoints — never share
+	// mutable state, so results are bit-identical to the serial path. A nil
+	// Pool keeps the fan-out serial. The pool is shared, not owned: the
+	// framework never closes it.
+	Pool *pool.Pool
+	// UsersHint pre-sizes the stream index's per-user maps for the expected
+	// number of distinct users (0 = grow incrementally).
+	UsersHint int
 }
 
 func (c Config) validate() error {
@@ -68,11 +81,33 @@ func (c Config) validate() error {
 
 // checkpoint pairs an oracle with the time of the first action it has
 // observed; it is the Λ_t[x] of the paper, covering the suffix of the window
-// that begins at start.
+// that begins at start. sharded caches the oracle's Sharded interface
+// (nil when unsupported) so the hot path never repeats the type assertion.
 type checkpoint struct {
-	start  stream.ActionID
-	oracle oracle.Oracle
+	start   stream.ActionID
+	oracle  oracle.Oracle
+	sharded oracle.Sharded
 }
+
+// newCheckpoint builds a checkpoint for start, detecting shard support once.
+func newCheckpoint(start stream.ActionID, orc oracle.Oracle) *checkpoint {
+	cp := &checkpoint{start: start, oracle: orc}
+	cp.sharded, _ = orc.(oracle.Sharded)
+	return cp
+}
+
+// feedUnit is one (checkpoint-oracle, shard) cell of an element's parallel
+// fan-out. Element is embedded by value: the unit slice is reused scratch,
+// and building a unit allocates nothing.
+type feedUnit struct {
+	orc   oracle.Sharded
+	shard int
+	e     oracle.Element
+}
+
+// minParallelUnits is the fan-out width below which the shard handoffs cost
+// more than they parallelize and the feed stays on the caller.
+const minParallelUnits = 8
 
 // Framework runs either IC or SIC over a social stream. It is not safe for
 // concurrent use.
@@ -95,6 +130,13 @@ type Framework struct {
 	batchContrib []stream.UserID
 	batchGains   []batchGain
 
+	// Parallel fan-out machinery: pool (nil = serial), the reused work-unit
+	// scratch, and the one cached closure handed to pool.Run — allocated at
+	// construction so the per-action feed performs no heap allocation.
+	pool   *pool.Pool
+	units  []feedUnit
+	feedFn func(i int)
+
 	// Cumulative counters for the experiment harness.
 	cpCreated int64
 	cpDeleted int64
@@ -110,7 +152,12 @@ func New(cfg Config) (*Framework, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Framework{cfg: cfg, st: stream.New()}, nil
+	f := &Framework{cfg: cfg, st: stream.NewSized(cfg.UsersHint), pool: cfg.Pool}
+	f.feedFn = func(i int) {
+		u := &f.units[i]
+		u.orc.FeedShard(u.shard, u.e)
+	}
+	return f, nil
 }
 
 // MustNew is New for static configurations known to be valid.
@@ -160,7 +207,7 @@ func (f *Framework) Process(a stream.Action) error {
 		create = f.processed%int64(f.cfg.L) == 0
 	}
 	if create {
-		f.cps = append(f.cps, &checkpoint{start: a.ID, oracle: f.cfg.Oracle(f.cfg.K)})
+		f.cps = append(f.cps, newCheckpoint(a.ID, f.cfg.Oracle(f.cfg.K)))
 		f.lastCpStart = a.ID
 		f.cpCreated++
 	}
@@ -170,33 +217,12 @@ func (f *Framework) Process(a stream.Action) error {
 	// (§4.2): each contributor u of the action re-emits (u, I_s(u)) with the
 	// influence set evaluated for the checkpoint's own suffix. The suffixes
 	// are nested, so one recency-sorted materialization per contributor
-	// serves every checkpoint as a prefix (stream.InfluenceRecency).
-	oldest := f.cps[0].start
+	// serves every checkpoint as a prefix (stream.InfluenceRecency). The
+	// current action's performer is the only member an element can have
+	// gained since u's previous element on the same checkpoint — the O(1)
+	// seed-update fast path (Latest).
 	for _, u := range d.Contributors {
-		list := f.st.InfluenceRecency(u, oldest)
-		for _, cp := range f.cps {
-			prefix := stream.PrefixFor(list, cp.start)
-			if len(prefix) == 0 {
-				continue
-			}
-			cp.oracle.Process(oracle.Element{
-				User: u,
-				// The current action's performer is the only member this
-				// element can have gained since u's previous element on
-				// this checkpoint — the O(1) seed-update fast path.
-				Latest:      a.User,
-				LatestValid: true,
-				Size:        len(prefix),
-				ForEach: func(visit func(stream.UserID) bool) {
-					for _, c := range prefix {
-						if !visit(c.V) {
-							return
-						}
-					}
-				},
-			})
-			f.elemFed++
-		}
+		f.feedContributor(u, a.User, true)
 	}
 
 	// Expire checkpoints that no longer cover a suffix of the window.
@@ -219,6 +245,57 @@ func (f *Framework) Process(a stream.Action) error {
 
 	f.cpSamples += int64(len(f.cps))
 	return nil
+}
+
+// feedContributor emits one contributor's element to every live checkpoint:
+// the per-action hot path of both frameworks. The influence set is
+// materialized once (a view into the stream's recency log) and sliced per
+// checkpoint; with a pool, the (checkpoint × oracle-shard) cells are
+// flattened into f.units and executed by one pool.Run call, giving parallel
+// width Σ_cp shards(cp) — wide even under SIC, where a single oracle holds
+// only O(log k / β) instances. Nothing on this path allocates in steady
+// state: elements are values over a shared prefix view, the unit slice is
+// reused scratch, and feedFn is the one closure cached at construction.
+//
+// Bit-identity with the serial path holds because the serial part of each
+// oracle's element (Prepare: counters, grid retuning) runs here in
+// checkpoint order, and the flattened FeedShard cells touch pairwise
+// disjoint state (distinct checkpoints are distinct oracles; shards of one
+// oracle are disjoint by the Sharded contract).
+func (f *Framework) feedContributor(u, latest stream.UserID, latestValid bool) {
+	list := f.st.InfluenceRecency(u, f.cps[0].start)
+	if len(list) == 0 {
+		return
+	}
+	parallel := f.pool.Workers() > 1
+	f.units = f.units[:0]
+	for _, cp := range f.cps {
+		prefix := stream.PrefixFor(list, cp.start)
+		if len(prefix) == 0 {
+			continue
+		}
+		e := oracle.Element{User: u, Latest: latest, LatestValid: latestValid, Prefix: prefix}
+		f.elemFed++
+		if !parallel || cp.sharded == nil {
+			cp.oracle.Process(e)
+			continue
+		}
+		if !cp.sharded.Prepare(e) {
+			continue
+		}
+		for s, n := 0, cp.sharded.Shards(); s < n; s++ {
+			f.units = append(f.units, feedUnit{orc: cp.sharded, shard: s, e: e})
+		}
+	}
+	if n := len(f.units); n > 0 {
+		if n >= minParallelUnits {
+			f.pool.Run(n, f.feedFn)
+		} else {
+			for i := 0; i < n; i++ {
+				f.feedFn(i)
+			}
+		}
+	}
 }
 
 // expire removes checkpoints whose start precedes the window start. IC

@@ -41,10 +41,12 @@ func ExactFactory(w submod.Weights) Factory {
 // Process implements Oracle.
 func (x *Exact) Process(e Element) {
 	x.elements++
-	var set []stream.UserID
-	e.ForEach(func(v stream.UserID) bool { set = append(set, v); return true })
-	if len(set) == 0 {
+	if len(e.Prefix) == 0 {
 		return
+	}
+	set := make([]stream.UserID, len(e.Prefix))
+	for i, c := range e.Prefix {
+		set[i] = c.V
 	}
 	if _, seen := x.sets[e.User]; !seen {
 		x.users = append(x.users, e.User)

@@ -1,0 +1,277 @@
+package oracle
+
+import (
+	"math"
+
+	"repro/internal/stream"
+	"repro/internal/submod"
+	"repro/internal/uintset"
+)
+
+// sieveInst is one candidate solution of a sieve-style oracle, associated
+// with one guess opt of the optimal value. SieveStreaming admits an element
+// when the marginal gain clears the residual threshold
+// (opt/2 − f(CX)) / (k − |CX|) (paper Eq. 2); ThresholdStream uses the flat
+// threshold opt/(2k). The state is identical either way.
+type sieveInst struct {
+	opt     float64
+	seeds   []stream.UserID
+	inSeeds *uintset.Set
+	cov     *submod.Coverage
+	// gainUB caches, per non-seed candidate, an upper bound on its marginal
+	// gain. Coverage growth only shrinks a candidate's gain, and between two
+	// elements for the same user its influence set gains at most the
+	// element's Latest member — so cached + weight(Latest) stays an upper
+	// bound, and most re-offers are rejected with one lookup instead of a
+	// scan over the influence set (the CELF idea applied inside a sieve
+	// instance).
+	gainUB *uintset.Map
+}
+
+// instPool is a free list of retired sieve instances: retune() drops
+// instances whose OPT guess fell behind m, and on a hot stream m grows many
+// times, so recycling the coverage set, gain cache and seed slice removes a
+// steady source of garbage from the ingestion path.
+type instPool struct {
+	free []*sieveInst
+	w    submod.Weights
+}
+
+func (p *instPool) get(opt float64) *sieveInst {
+	if n := len(p.free); n > 0 {
+		inst := p.free[n-1]
+		p.free = p.free[:n-1]
+		inst.opt = opt
+		return inst
+	}
+	return &sieveInst{
+		opt:     opt,
+		inSeeds: uintset.New(8),
+		cov:     submod.NewCoverage(p.w),
+		gainUB:  uintset.NewMap(0),
+	}
+}
+
+func (p *instPool) put(inst *sieveInst) {
+	inst.seeds = inst.seeds[:0]
+	inst.inSeeds.Reset()
+	inst.cov.Reset()
+	inst.gainUB.Reset()
+	p.free = append(p.free, inst)
+}
+
+// grid is the machinery shared by the two sieve-style oracles
+// (SieveStreaming and ThresholdStream): OPT guesses (1+β)^j maintained on a
+// grid over [m, 2km] for the largest observed singleton value m, one
+// candidate instance per guess, a free list recycling retired instances,
+// and a monotone best-ever answer cache. The only algorithmic difference
+// between the two oracles is the admission threshold, selected by flat.
+//
+// The live instances form a contiguous exponent range [jLo, jLo+len(insts))
+// and are stored in a slice: the per-element instance sweep is the hottest
+// loop of the IC/SIC frameworks. grid implements the full Oracle and
+// Sharded method sets with one shard per instance, so the frameworks can
+// fan the sweep across every live checkpoint at once.
+type grid struct {
+	k    int
+	beta float64
+	w    submod.Weights
+	flat bool // true = ThresholdStream's opt/(2k); false = Sieve's residual
+
+	m     float64 // max singleton value observed
+	insts []*sieveInst
+	jLo   int
+	logB  float64 // log(1+beta), cached
+	pool  instPool
+
+	elements int64
+
+	// cur is the prepared element's singleton value, set serially in
+	// Prepare and read-only during the concurrent FeedShard calls.
+	cur float64
+
+	// bestVal/bestSeeds remember the best solution ever observed (kept
+	// monotone for SIC's Lemma 2: instance deletion during retune could
+	// otherwise make Value() dip; the remembered seed set stays valid
+	// because influence sets only grow within a checkpoint's suffix).
+	// dirty marks bestVal stale after new elements.
+	bestVal   float64
+	bestSeeds []stream.UserID
+	dirty     bool
+}
+
+func newGrid(k int, beta float64, w submod.Weights, flat bool) grid {
+	if k < 1 {
+		panic("oracle: k must be >= 1")
+	}
+	if beta <= 0 || beta >= 1 {
+		panic("oracle: beta must be in (0, 1)")
+	}
+	return grid{k: k, beta: beta, w: w, flat: flat, logB: math.Log1p(beta), pool: instPool{w: w}}
+}
+
+// singleton returns f({e}): the element's full value, an upper bound on its
+// marginal gain for every instance.
+func (g *grid) singleton(e Element) float64 {
+	if g.w == nil {
+		return float64(len(e.Prefix))
+	}
+	v := 0.0
+	for _, c := range e.Prefix {
+		v += g.w.Weight(c.V)
+	}
+	return v
+}
+
+// Prepare implements Sharded: counters, singleton evaluation and
+// threshold-grid retuning — the serial prefix of one element.
+func (g *grid) Prepare(e Element) bool {
+	g.elements++
+	sv := g.singleton(e)
+	if sv == 0 {
+		return false
+	}
+	if sv > g.m {
+		g.m = sv
+		g.retune()
+	}
+	g.cur = sv
+	g.dirty = true
+	return true
+}
+
+// Shards implements Sharded: one shard per live instance.
+func (g *grid) Shards() int { return len(g.insts) }
+
+// FeedShard implements Sharded: offer the prepared element to instance i.
+// Instances never share mutable state, so distinct shards may run
+// concurrently with bit-identical admission decisions.
+func (g *grid) FeedShard(i int, e Element) { g.feed(g.insts[i], e, g.cur) }
+
+// Process implements Oracle: the serial sweep, equivalent to Prepare
+// followed by feeding every shard in order.
+func (g *grid) Process(e Element) {
+	if !g.Prepare(e) {
+		return
+	}
+	for _, inst := range g.insts {
+		g.feed(inst, e, g.cur)
+	}
+}
+
+// retune maintains the instance range after m grew: instances whose OPT
+// guess fell below m are recycled through the free list (they can no longer
+// be the right guess), and instances up to 2km are created. Lazy
+// instantiation preserves the guarantee because a fresh instance only needs
+// to see elements arriving after the point where its guess became plausible
+// (Badanidiyuru et al. §4). The monotone best-ever cache keeps Value() from
+// dipping when instances are dropped.
+func (g *grid) retune() {
+	g.refresh() // bank the current best before dropping instances
+	lo := int(math.Ceil(math.Log(g.m)/g.logB - 1e-9))
+	hi := int(math.Floor(math.Log(2*float64(g.k)*g.m)/g.logB + 1e-9))
+	next := make([]*sieveInst, hi-lo+1)
+	for old, inst := range g.insts {
+		if j := old + g.jLo; j < lo || j > hi {
+			g.pool.put(inst)
+		} else {
+			next[j-lo] = inst
+		}
+	}
+	for j := lo; j <= hi; j++ {
+		if next[j-lo] == nil {
+			next[j-lo] = g.pool.get(math.Pow(1+g.beta, float64(j)))
+		}
+	}
+	g.insts, g.jLo = next, lo
+}
+
+// feed offers the current element to one instance. singleton, the element's
+// full value, upper-bounds its marginal gain and lets instances with high
+// thresholds reject without scanning coverage.
+func (g *grid) feed(inst *sieveInst, e Element, singleton float64) {
+	if inst.inSeeds.Has(uint32(e.User)) {
+		// e.User is already a seed: its influence set grew, merge the
+		// coverage. No threshold test — the candidate stores users, so this
+		// costs no budget and only increases the value (Theorem 2's
+		// monotonicity). With Latest metadata the merge is a single insert.
+		if e.LatestValid {
+			inst.cov.Add(e.Latest)
+			return
+		}
+		for _, c := range e.Prefix {
+			inst.cov.Add(c.V)
+		}
+		return
+	}
+	if len(inst.seeds) >= g.k {
+		return
+	}
+	var threshold float64
+	if g.flat {
+		threshold = inst.opt / (2 * float64(g.k))
+	} else {
+		threshold = (inst.opt/2 - inst.cov.Value()) / float64(g.k-len(inst.seeds))
+	}
+	if singleton < threshold {
+		return // gain <= singleton cannot clear the threshold
+	}
+	if e.LatestValid {
+		if ub, ok := inst.gainUB.Get(uint32(e.User)); ok {
+			w := 1.0
+			if g.w != nil {
+				w = g.w.Weight(e.Latest)
+			}
+			ub += w
+			if ub < threshold {
+				// Still below the bar even if the new member is uncovered.
+				inst.gainUB.Set(uint32(e.User), ub)
+				return
+			}
+		}
+	}
+	// Accumulate the marginal gain only until the admission condition is
+	// decided: gain can only grow, so the scan stops at the threshold.
+	gain := 0.0
+	for _, c := range e.Prefix {
+		gain += inst.cov.Gain(c.V)
+		if gain >= threshold && gain > 0 {
+			inst.seeds = append(inst.seeds, e.User)
+			inst.inSeeds.Add(uint32(e.User))
+			for _, c2 := range e.Prefix {
+				inst.cov.Add(c2.V)
+			}
+			return
+		}
+	}
+	inst.gainUB.Set(uint32(e.User), gain)
+}
+
+// refresh folds the current best instance into the monotone best-ever cache.
+func (g *grid) refresh() {
+	if !g.dirty {
+		return
+	}
+	g.dirty = false
+	for _, inst := range g.insts {
+		if v := inst.cov.Value(); v > g.bestVal {
+			g.bestVal = v
+			g.bestSeeds = append(g.bestSeeds[:0], inst.seeds...)
+		}
+	}
+}
+
+// Value implements Oracle.
+func (g *grid) Value() float64 {
+	g.refresh()
+	return g.bestVal
+}
+
+// Seeds implements Oracle.
+func (g *grid) Seeds() []stream.UserID {
+	g.refresh()
+	return g.bestSeeds
+}
+
+// Stats implements Oracle.
+func (g *grid) Stats() Stats { return Stats{Instances: len(g.insts), Elements: g.elements} }

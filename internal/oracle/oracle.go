@@ -16,44 +16,45 @@
 package oracle
 
 import (
-	"repro/internal/pool"
 	"repro/internal/stream"
 	"repro/internal/submod"
 )
 
 // Element is one mapped set-stream element: user User together with its
-// current influence set for the oracle's suffix. ForEach must iterate the
-// distinct users of the set; it may be invoked multiple times per Process
-// call and must be deterministic within the call.
+// current influence set for the oracle's suffix, materialized as Prefix.
+// It is a plain value — passing one to an oracle allocates nothing.
 //
-// Latest and Size are optional fast-path metadata the checkpoint frameworks
-// provide. Latest, when LatestValid, is the only member possibly added since
-// this user's previous element on the same oracle (the current action's
+// Prefix is the influence set as (user, last-contribution-time) pairs in
+// descending time order, exactly what stream.InfluenceRecency returns: the
+// checkpoint frameworks materialize one recency list per contributor and
+// slice it per checkpoint, so the same backing array serves every element
+// of the fan-out. Oracles read only the .V members and must not retain or
+// mutate the slice beyond the Process/FeedShard call — it aliases stream
+// state that the next Ingest may rewrite. Duplicate users never occur
+// (the recency list holds each influenced user once).
+//
+// Latest, when LatestValid, is the only member possibly added since this
+// user's previous element on the same oracle (the current action's
 // performer): within one checkpoint's append-only suffix, an influence set
 // changes exactly when an action with this user on its contributor chain
 // arrives, and every such action is delivered as an element. This lets
 // oracles update an already-admitted seed's coverage in O(1) instead of
-// re-merging the whole set. Size, when > 0, is the number of distinct
-// members, sparing a scan when the objective is cardinality; leave it 0
-// (the zero value) when unknown.
+// re-merging the whole set.
 type Element struct {
 	User        stream.UserID
 	Latest      stream.UserID
 	LatestValid bool
-	Size        int
-	ForEach     func(visit func(stream.UserID) bool)
+	Prefix      []stream.Contrib
 }
 
 // SliceElement builds an Element from a materialized influence set (used by
 // tests and the offline reference implementations).
 func SliceElement(u stream.UserID, set []stream.UserID) Element {
-	return Element{User: u, Size: len(set), ForEach: func(visit func(stream.UserID) bool) {
-		for _, v := range set {
-			if !visit(v) {
-				return
-			}
-		}
-	}}
+	prefix := make([]stream.Contrib, len(set))
+	for i, v := range set {
+		prefix[i] = stream.Contrib{V: v}
+	}
+	return Element{User: u, Prefix: prefix}
 }
 
 // Stats exposes internal counters of an oracle, reported by the experiment
@@ -81,6 +82,41 @@ type Oracle interface {
 	Seeds() []stream.UserID
 	// Stats returns internal counters.
 	Stats() Stats
+}
+
+// Sharded is implemented by oracles whose per-element work splits into
+// mutually independent shards — the sieve-style oracles, whose candidate
+// instances never share mutable state. It lets the checkpoint frameworks
+// flatten one action's (checkpoint × shard) fan-out into a single parallel
+// loop, so the parallel width is the sum of all live checkpoints' shard
+// counts instead of one oracle's instance count.
+//
+// The calling protocol replaces Process for one element e:
+//
+//	if orc.Prepare(e) {
+//	    for s := 0; s < orc.Shards(); s++ { orc.FeedShard(s, e) }
+//	}
+//
+// Prepare runs the serial prefix of the element (counters, threshold-grid
+// retuning) and reports whether the element needs feeding at all. The
+// FeedShard calls may then run concurrently with each other — each shard
+// touches disjoint state — but must all complete before the next Prepare or
+// Process call on the same oracle, and e must be identical across the
+// calls. Feeding every shard exactly once is equivalent to Process(e):
+// admission decisions are bit-identical to the serial sweep.
+type Sharded interface {
+	Oracle
+	// Prepare runs the serial per-element work and reports whether the
+	// element must be offered to the shards (false: zero-value element,
+	// fully handled).
+	Prepare(e Element) bool
+	// Shards returns the current number of independent shards. Valid until
+	// the next Prepare/Process call; may change as the threshold grid
+	// retunes.
+	Shards() int
+	// FeedShard offers the prepared element to shard s ∈ [0, Shards()).
+	// Distinct shards may be fed concurrently.
+	FeedShard(s int, e Element)
 }
 
 // Factory creates a fresh oracle for a cardinality constraint k. The IC and
@@ -117,28 +153,16 @@ func (k Kind) String() string {
 // NewFactory returns a Factory for the given algorithm. beta is the
 // approximation/efficiency knob of the sieve-style oracles (ignored by the
 // swap oracles), w the influence weights (nil = cardinality).
+//
+// The sieve-style oracles implement Sharded; parallelism is driven by the
+// caller (the checkpoint frameworks fan shards of every live checkpoint
+// across one pool), so the factory itself is parallelism-agnostic.
 func NewFactory(kind Kind, beta float64, w submod.Weights) Factory {
-	return NewParallelFactory(kind, beta, w, nil)
-}
-
-// NewParallelFactory is NewFactory with a worker pool shared by every oracle
-// the factory creates: the sieve-style oracles fan their per-element
-// instance sweep out across it, the swap oracles (single candidate, nothing
-// to fan out) ignore it. A nil pool keeps all oracles serial.
-func NewParallelFactory(kind Kind, beta float64, w submod.Weights, p *pool.Pool) Factory {
 	switch kind {
 	case SieveStreaming:
-		return func(k int) Oracle {
-			s := NewSieve(k, beta, w)
-			s.SetPool(p)
-			return s
-		}
+		return func(k int) Oracle { return NewSieve(k, beta, w) }
 	case ThresholdStream:
-		return func(k int) Oracle {
-			t := NewThreshold(k, beta, w)
-			t.SetPool(p)
-			return t
-		}
+		return func(k int) Oracle { return NewThreshold(k, beta, w) }
 	case BlogWatch:
 		return func(k int) Oracle { return NewSwap(k, w, false) }
 	case MkC:

@@ -39,11 +39,13 @@ func randomElements(seed int64, users, rounds, maxSet int) []Element {
 	return out
 }
 
-// TestParallelSweepMatchesSerial asserts the tentpole invariant: fanning the
-// per-element instance sweep across a worker pool changes no admission
-// decision, so Value and Seeds are bit-identical to the serial sweep after
-// every element — for both sieve-style oracles, weighted and unweighted.
-func TestParallelSweepMatchesSerial(t *testing.T) {
+// TestShardedMatchesSerial asserts the engine's core invariant at the oracle
+// layer: driving an element through the Sharded protocol — serial Prepare,
+// then every shard fed concurrently across a worker pool — changes no
+// admission decision, so Value and Seeds are bit-identical to the plain
+// Process sweep after every element, for both sieve-style oracles, weighted
+// and unweighted.
+func TestShardedMatchesSerial(t *testing.T) {
 	p := pool.New(4)
 	defer p.Close()
 	weights := submod.WeightFunc(func(v stream.UserID) float64 {
@@ -52,36 +54,82 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 	for _, kind := range []Kind{SieveStreaming, ThresholdStream} {
 		for _, w := range []submod.Weights{nil, weights} {
 			serial := NewFactory(kind, 0.1, w)(10)
-			parallel := NewParallelFactory(kind, 0.1, w, p)(10)
+			sharded := NewFactory(kind, 0.1, w)(10).(Sharded)
 			name := kind.String()
 			if w != nil {
 				name += "/weighted"
 			}
 			for i, e := range randomElements(7, 40, 3000, 200) {
 				serial.Process(e)
-				parallel.Process(e)
-				if sv, pv := serial.Value(), parallel.Value(); sv != pv {
-					t.Fatalf("%s: element %d: serial value %v != parallel value %v", name, i, sv, pv)
+				if sharded.Prepare(e) {
+					e := e
+					p.Run(sharded.Shards(), func(s int) { sharded.FeedShard(s, e) })
+				}
+				if sv, pv := serial.Value(), sharded.Value(); sv != pv {
+					t.Fatalf("%s: element %d: serial value %v != sharded value %v", name, i, sv, pv)
 				}
 			}
-			if ss, ps := serial.Seeds(), parallel.Seeds(); !reflect.DeepEqual(ss, ps) {
-				t.Fatalf("%s: seeds diverged: serial %v parallel %v", name, ss, ps)
+			if ss, ps := serial.Seeds(), sharded.Seeds(); !reflect.DeepEqual(ss, ps) {
+				t.Fatalf("%s: seeds diverged: serial %v sharded %v", name, ss, ps)
 			}
-			if si, pi := serial.Stats().Instances, parallel.Stats().Instances; si != pi {
+			if si, pi := serial.Stats().Instances, sharded.Stats().Instances; si != pi {
 				t.Fatalf("%s: instance counts diverged: %d vs %d", name, si, pi)
+			}
+			if se, pe := serial.Stats().Elements, sharded.Stats().Elements; se != pe {
+				t.Fatalf("%s: element counts diverged: %d vs %d", name, se, pe)
 			}
 		}
 	}
 }
 
-// TestSetPoolNilIsSerial exercises the explicit opt-out.
-func TestSetPoolNilIsSerial(t *testing.T) {
-	s := NewSieve(5, 0.2, nil)
-	s.SetPool(nil)
-	for _, e := range randomElements(3, 10, 200, 50) {
-		s.Process(e)
+// TestShardedInterfaceCoverage pins which oracles expose shards: the
+// sieve-style ones do (independent candidate instances), the single-solution
+// swap oracles do not — the frameworks fall back to serial Process for them.
+func TestShardedInterfaceCoverage(t *testing.T) {
+	for kind, want := range map[Kind]bool{
+		SieveStreaming:  true,
+		ThresholdStream: true,
+		BlogWatch:       false,
+		MkC:             false,
+	} {
+		_, ok := NewFactory(kind, 0.1, nil)(5).(Sharded)
+		if ok != want {
+			t.Errorf("%v: Sharded = %v, want %v", kind, ok, want)
+		}
 	}
-	if s.Value() <= 0 {
+}
+
+// TestInstanceRecycling exercises the retune free list: a stream whose
+// singleton values keep growing forces many retunes, and recycled instances
+// must be indistinguishable from fresh ones. The reference oracle has its
+// free list drained after every element, so it allocates a fresh instance
+// for every new OPT guess — a true non-recycling baseline; any reset bug in
+// instPool.put (stale coverage, gain cache, seed slice) diverges the pair.
+func TestInstanceRecycling(t *testing.T) {
+	recycling := NewSieve(5, 0.3, nil)
+	fresh := NewSieve(5, 0.3, nil)
+	// Growing set sizes move m up repeatedly, churning the grid.
+	set := make([]stream.UserID, 0, 200)
+	recycled := 0
+	for i := 0; i < 200; i++ {
+		set = append(set, stream.UserID(i))
+		e := SliceElement(stream.UserID(i%7), set)
+		e.Latest, e.LatestValid = stream.UserID(i), true
+		recycling.Process(e)
+		fresh.Process(e)
+		recycled += len(fresh.pool.free)
+		fresh.pool.free = nil // white-box: force fresh allocations only
+		if av, bv := recycling.Value(), fresh.Value(); av != bv {
+			t.Fatalf("element %d: recycling value %v != fresh value %v", i, av, bv)
+		}
+	}
+	if recycling.Value() <= 0 {
 		t.Fatal("oracle made no progress")
+	}
+	if recycled == 0 {
+		t.Fatal("stream never retired an instance; recycling path untested")
+	}
+	if !reflect.DeepEqual(recycling.Seeds(), fresh.Seeds()) {
+		t.Fatalf("seeds diverged: %v vs %v", recycling.Seeds(), fresh.Seeds())
 	}
 }

@@ -1,276 +1,26 @@
 package oracle
 
 import (
-	"math"
-	"sync"
-
-	"repro/internal/pool"
-	"repro/internal/stream"
 	"repro/internal/submod"
-	"repro/internal/uintset"
 )
-
-// minParallelInsts is the instance count below which the per-element fan-out
-// is not worth the shard handoffs and the sweep stays on the caller.
-const minParallelInsts = 8
-
-// sieveInst is one candidate solution of SieveStreaming, associated with one
-// guess opt of the optimal value. It admits an element when the marginal
-// gain clears the residual threshold (opt/2 − f(CX)) / (k − |CX|)
-// (paper Eq. 2).
-type sieveInst struct {
-	opt     float64
-	seeds   []stream.UserID
-	inSeeds *uintset.Set
-	cov     *submod.Coverage
-	// gainUB caches, per non-seed candidate, an upper bound on its marginal
-	// gain. Coverage growth only shrinks a candidate's gain, and between two
-	// elements for the same user its influence set gains at most the
-	// element's Latest member — so cached + weight(Latest) stays an upper
-	// bound, and most re-offers are rejected with one lookup instead of a
-	// scan over the influence set (the CELF idea applied inside a sieve
-	// instance).
-	gainUB *uintset.Map
-}
-
-func newSieveInst(opt float64, w submod.Weights) *sieveInst {
-	return &sieveInst{
-		opt:     opt,
-		inSeeds: uintset.New(8),
-		cov:     submod.NewCoverage(w),
-		gainUB:  uintset.NewMap(0),
-	}
-}
 
 // Sieve implements SieveStreaming (Badanidiyuru et al.) adapted through the
 // Set-Stream Mapping: it maintains O(log k / β) instances whose OPT guesses
 // (1+β)^j lie in [m, 2km] for the largest observed singleton value m, and
-// answers with the best instance. Guarantees a (1/2 − β) approximation on
-// the append-only element stream, hence on SIM for its suffix by Theorem 2.
+// answers with the best instance. An instance admits an element when the
+// marginal gain clears the residual threshold (opt/2 − f(CX)) / (k − |CX|)
+// (paper Eq. 2). Guarantees a (1/2 − β) approximation on the append-only
+// element stream, hence on SIM for its suffix by Theorem 2.
 //
-// The live instances form a contiguous exponent range [jLo, jLo+len(insts))
-// and are stored in a slice: the per-element instance sweep is the hottest
-// loop of the IC/SIC frameworks.
+// All grid maintenance (instance free list, retuning, the monotone
+// best-ever answer cache) and the Sharded protocol — one shard per
+// candidate instance — live in the embedded grid, shared with Threshold.
 type Sieve struct {
-	k    int
-	beta float64
-	w    submod.Weights
-
-	m     float64 // max singleton value observed
-	insts []*sieveInst
-	jLo   int
-	logB  float64 // log(1+beta), cached
-
-	elements int64
-	buf      []stream.UserID
-
-	// pool, when non-nil, fans the per-element instance sweep out across
-	// workers. Instances are mutually independent (each owns its coverage,
-	// seed set and gain cache), so the fan-out changes no admission decision:
-	// every instance still observes the elements in arrival order.
-	pool *pool.Pool
-
-	// bestVal/bestSeeds remember the best solution ever observed (kept
-	// monotone for SIC's Lemma 2: instance deletion during retune could
-	// otherwise make Value() dip; the remembered seed set stays valid
-	// because influence sets only grow within a checkpoint's suffix).
-	// dirty marks bestVal stale after new elements.
-	bestVal   float64
-	bestSeeds []stream.UserID
-	dirty     bool
+	grid
 }
 
 // NewSieve returns a SieveStreaming oracle for cardinality constraint k and
 // threshold granularity beta in (0, 1).
 func NewSieve(k int, beta float64, w submod.Weights) *Sieve {
-	if k < 1 {
-		panic("oracle: k must be >= 1")
-	}
-	if beta <= 0 || beta >= 1 {
-		panic("oracle: beta must be in (0, 1)")
-	}
-	return &Sieve{k: k, beta: beta, w: w, logB: math.Log1p(beta)}
+	return &Sieve{grid: newGrid(k, beta, w, false)}
 }
-
-// SetPool installs the worker pool used for the per-element instance sweep.
-// A nil pool (the default) keeps the sweep serial — the exact legacy
-// behavior. The pool is shared, not owned: the oracle never closes it.
-func (s *Sieve) SetPool(p *pool.Pool) { s.pool = p }
-
-// lockedMaterialize adapts a lazy single-goroutine materializer for the
-// concurrent sweep: the first caller fills the element buffer under the
-// mutex, and the release/acquire pair hands every later caller the
-// happens-before edge that makes the buffer safe to read lock-free
-// afterwards (it is never written again once materialized).
-func lockedMaterialize(materialize func()) func() {
-	var mu sync.Mutex
-	return func() {
-		mu.Lock()
-		defer mu.Unlock()
-		materialize()
-	}
-}
-
-func (s *Sieve) weight(v stream.UserID) float64 {
-	if s.w == nil {
-		return 1
-	}
-	return s.w.Weight(v)
-}
-
-// Process implements Oracle.
-func (s *Sieve) Process(e Element) {
-	s.elements++
-	// Materialize lazily: seed-coverage updates and threshold rejections
-	// need only the element's metadata, and they are the overwhelmingly
-	// common cases on a hot stream.
-	materialized := false
-	singleton := 0.0
-	materialize := func() {
-		if materialized {
-			return
-		}
-		materialized = true
-		s.buf = s.buf[:0]
-		singleton = 0
-		e.ForEach(func(v stream.UserID) bool {
-			s.buf = append(s.buf, v)
-			singleton += s.weight(v)
-			return true
-		})
-	}
-	if s.w == nil && e.Size > 0 {
-		singleton = float64(e.Size)
-	} else {
-		materialize()
-	}
-	if singleton == 0 {
-		return
-	}
-	if singleton > s.m {
-		s.m = singleton
-		s.retune()
-	}
-	if insts := s.insts; s.pool.Workers() > 1 && len(insts) >= minParallelInsts {
-		// Fan the sweep out across the pool. Each instance is touched by
-		// exactly one worker, so admission decisions and per-instance state
-		// are bit-identical to the serial sweep; only materialization needs
-		// the mutex-guarded wrapper because s.buf is shared read-mostly
-		// state. singleton is passed by value — the captured variable may be
-		// rewritten inside materialize.
-		feed := lockedMaterialize(materialize)
-		sv := singleton
-		s.pool.Run(len(insts), func(i int) { s.feed(insts[i], e, sv, feed) })
-	} else {
-		for _, inst := range s.insts {
-			s.feed(inst, e, singleton, materialize)
-		}
-	}
-	s.dirty = true
-}
-
-// retune maintains the instance range after m grew: instances whose OPT
-// guess fell below m are discarded (they can no longer be the right guess),
-// and new empty instances are created up to 2km. Lazy instantiation
-// preserves the guarantee because a fresh instance only needs to see
-// elements arriving after the point where its guess became plausible
-// (Badanidiyuru et al. §4). The monotone best-ever cache keeps Value() from
-// dipping when instances are dropped.
-func (s *Sieve) retune() {
-	s.refresh() // bank the current best before dropping instances
-	lo := int(math.Ceil(math.Log(s.m)/s.logB - 1e-9))
-	hi := int(math.Floor(math.Log(2*float64(s.k)*s.m)/s.logB + 1e-9))
-	next := make([]*sieveInst, hi-lo+1)
-	for j := lo; j <= hi; j++ {
-		if old := j - s.jLo; len(s.insts) > 0 && old >= 0 && old < len(s.insts) {
-			next[j-lo] = s.insts[old]
-		} else {
-			next[j-lo] = newSieveInst(math.Pow(1+s.beta, float64(j)), s.w)
-		}
-	}
-	s.insts, s.jLo = next, lo
-}
-
-// feed offers the current element to one instance. singleton, the element's
-// full value, upper-bounds its marginal gain and lets instances with high
-// thresholds reject without scanning coverage; materialize fills s.buf on
-// first real need.
-func (s *Sieve) feed(inst *sieveInst, e Element, singleton float64, materialize func()) {
-	if inst.inSeeds.Has(uint32(e.User)) {
-		// e.User is already a seed: its influence set grew, merge the
-		// coverage. No threshold test — the candidate stores users, so this
-		// costs no budget and only increases the value (Theorem 2's
-		// monotonicity). With Latest metadata the merge is a single insert.
-		if e.LatestValid {
-			inst.cov.Add(e.Latest)
-			return
-		}
-		materialize()
-		for _, v := range s.buf {
-			inst.cov.Add(v)
-		}
-		return
-	}
-	if len(inst.seeds) >= s.k {
-		return
-	}
-	threshold := (inst.opt/2 - inst.cov.Value()) / float64(s.k-len(inst.seeds))
-	if singleton < threshold {
-		return // gain <= singleton cannot clear the threshold
-	}
-	if e.LatestValid {
-		if ub, ok := inst.gainUB.Get(uint32(e.User)); ok {
-			ub += s.weight(e.Latest)
-			if ub < threshold {
-				// Still below the bar even if the new member is uncovered.
-				inst.gainUB.Set(uint32(e.User), ub)
-				return
-			}
-		}
-	}
-	materialize()
-	// Accumulate the marginal gain only until the admission condition is
-	// decided: gain can only grow, so the scan stops at the threshold.
-	gain := 0.0
-	for _, v := range s.buf {
-		gain += inst.cov.Gain(v)
-		if gain >= threshold && gain > 0 {
-			inst.seeds = append(inst.seeds, e.User)
-			inst.inSeeds.Add(uint32(e.User))
-			for _, w := range s.buf {
-				inst.cov.Add(w)
-			}
-			return
-		}
-	}
-	inst.gainUB.Set(uint32(e.User), gain)
-}
-
-// refresh folds the current best instance into the monotone best-ever cache.
-func (s *Sieve) refresh() {
-	if !s.dirty {
-		return
-	}
-	s.dirty = false
-	for _, inst := range s.insts {
-		if v := inst.cov.Value(); v > s.bestVal {
-			s.bestVal = v
-			s.bestSeeds = append(s.bestSeeds[:0], inst.seeds...)
-		}
-	}
-}
-
-// Value implements Oracle.
-func (s *Sieve) Value() float64 {
-	s.refresh()
-	return s.bestVal
-}
-
-// Seeds implements Oracle.
-func (s *Sieve) Seeds() []stream.UserID {
-	s.refresh()
-	return s.bestSeeds
-}
-
-// Stats implements Oracle.
-func (s *Sieve) Stats() Stats { return Stats{Instances: len(s.insts), Elements: s.elements} }

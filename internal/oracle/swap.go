@@ -81,10 +81,9 @@ func (s *Swap) unionValue(skip int, extra []stream.UserID) float64 {
 func (s *Swap) Process(e Element) {
 	s.elements++
 	s.buf = s.buf[:0]
-	e.ForEach(func(v stream.UserID) bool {
-		s.buf = append(s.buf, v)
-		return true
-	})
+	for _, c := range e.Prefix {
+		s.buf = append(s.buf, c.V)
+	}
 	if len(s.buf) == 0 {
 		return
 	}

@@ -1,210 +1,25 @@
 package oracle
 
 import (
-	"math"
-
-	"repro/internal/pool"
-	"repro/internal/stream"
 	"repro/internal/submod"
-	"repro/internal/uintset"
 )
-
-// threshInst is one candidate solution of ThresholdStream with a fixed OPT
-// guess: it admits any element whose marginal gain reaches opt/(2k), the
-// flat threshold of Kumar et al.'s streaming greedy.
-type threshInst struct {
-	opt     float64
-	seeds   []stream.UserID
-	inSeeds *uintset.Set
-	cov     *submod.Coverage
-	// gainUB caches per-candidate marginal-gain upper bounds; see the
-	// equivalent field in sieveInst.
-	gainUB *uintset.Map
-}
 
 // Threshold implements ThresholdStream (Kumar et al., "Fast greedy
 // algorithms in MapReduce and streaming") through the Set-Stream Mapping.
-// Like SieveStreaming it guesses OPT on a (1+β) grid over [m, 2km] and keeps
-// one candidate per guess, but each candidate uses the flat admission
+// Like SieveStreaming it guesses OPT on a (1+β) grid over [m, 2km] and
+// keeps one candidate per guess, but each candidate uses the flat admission
 // threshold opt/(2k) rather than the residual-based one, giving the same
 // (1/2 − β) guarantee with a slightly different admission pattern.
+//
+// Everything except the admission threshold is identical to Sieve and lives
+// in the embedded grid, including the Sharded protocol (one shard per
+// candidate instance).
 type Threshold struct {
-	k    int
-	beta float64
-	w    submod.Weights
-
-	m     float64
-	insts []*threshInst
-	jLo   int
-	logB  float64
-
-	elements int64
-	buf      []stream.UserID
-
-	// pool fans the per-element instance sweep across workers; see the
-	// equivalent field in Sieve.
-	pool *pool.Pool
-
-	bestVal   float64
-	bestSeeds []stream.UserID
-	dirty     bool
+	grid
 }
 
 // NewThreshold returns a ThresholdStream oracle for cardinality constraint k
 // and grid granularity beta in (0, 1).
 func NewThreshold(k int, beta float64, w submod.Weights) *Threshold {
-	if k < 1 {
-		panic("oracle: k must be >= 1")
-	}
-	if beta <= 0 || beta >= 1 {
-		panic("oracle: beta must be in (0, 1)")
-	}
-	return &Threshold{k: k, beta: beta, w: w, logB: math.Log1p(beta)}
+	return &Threshold{grid: newGrid(k, beta, w, true)}
 }
-
-// SetPool installs the worker pool used for the per-element instance sweep;
-// nil (the default) keeps the sweep serial. The pool is shared, not owned.
-func (t *Threshold) SetPool(p *pool.Pool) { t.pool = p }
-
-func (t *Threshold) weight(v stream.UserID) float64 {
-	if t.w == nil {
-		return 1
-	}
-	return t.w.Weight(v)
-}
-
-// Process implements Oracle.
-func (t *Threshold) Process(e Element) {
-	t.elements++
-	materialized := false
-	singleton := 0.0
-	materialize := func() {
-		if materialized {
-			return
-		}
-		materialized = true
-		t.buf = t.buf[:0]
-		singleton = 0
-		e.ForEach(func(v stream.UserID) bool {
-			t.buf = append(t.buf, v)
-			singleton += t.weight(v)
-			return true
-		})
-	}
-	if t.w == nil && e.Size > 0 {
-		singleton = float64(e.Size)
-	} else {
-		materialize()
-	}
-	if singleton == 0 {
-		return
-	}
-	if singleton > t.m {
-		t.m = singleton
-		t.retune()
-	}
-	if insts := t.insts; t.pool.Workers() > 1 && len(insts) >= minParallelInsts {
-		// Concurrent sweep over disjoint instances; bit-identical to the
-		// serial loop (see the equivalent branch in Sieve.Process).
-		feed := lockedMaterialize(materialize)
-		sv := singleton
-		t.pool.Run(len(insts), func(i int) { t.feed(insts[i], e, sv, feed) })
-	} else {
-		for _, inst := range t.insts {
-			t.feed(inst, e, singleton, materialize)
-		}
-	}
-	t.dirty = true
-}
-
-func (t *Threshold) retune() {
-	t.refresh()
-	lo := int(math.Ceil(math.Log(t.m)/t.logB - 1e-9))
-	hi := int(math.Floor(math.Log(2*float64(t.k)*t.m)/t.logB + 1e-9))
-	next := make([]*threshInst, hi-lo+1)
-	for j := lo; j <= hi; j++ {
-		if old := j - t.jLo; len(t.insts) > 0 && old >= 0 && old < len(t.insts) {
-			next[j-lo] = t.insts[old]
-		} else {
-			next[j-lo] = &threshInst{
-				opt:     math.Pow(1+t.beta, float64(j)),
-				inSeeds: uintset.New(8),
-				cov:     submod.NewCoverage(t.w),
-				gainUB:  uintset.NewMap(0),
-			}
-		}
-	}
-	t.insts, t.jLo = next, lo
-}
-
-func (t *Threshold) feed(inst *threshInst, e Element, singleton float64, materialize func()) {
-	if inst.inSeeds.Has(uint32(e.User)) {
-		if e.LatestValid {
-			inst.cov.Add(e.Latest)
-			return
-		}
-		materialize()
-		for _, v := range t.buf {
-			inst.cov.Add(v)
-		}
-		return
-	}
-	if len(inst.seeds) >= t.k {
-		return
-	}
-	threshold := inst.opt / (2 * float64(t.k))
-	if singleton < threshold {
-		return // gain <= singleton cannot clear the flat threshold
-	}
-	if e.LatestValid {
-		if ub, ok := inst.gainUB.Get(uint32(e.User)); ok {
-			ub += t.weight(e.Latest)
-			if ub < threshold {
-				inst.gainUB.Set(uint32(e.User), ub)
-				return
-			}
-		}
-	}
-	materialize()
-	gain := 0.0
-	for _, v := range t.buf {
-		gain += inst.cov.Gain(v)
-		if gain >= threshold && gain > 0 {
-			inst.seeds = append(inst.seeds, e.User)
-			inst.inSeeds.Add(uint32(e.User))
-			for _, w := range t.buf {
-				inst.cov.Add(w)
-			}
-			return
-		}
-	}
-	inst.gainUB.Set(uint32(e.User), gain)
-}
-
-func (t *Threshold) refresh() {
-	if !t.dirty {
-		return
-	}
-	t.dirty = false
-	for _, inst := range t.insts {
-		if v := inst.cov.Value(); v > t.bestVal {
-			t.bestVal = v
-			t.bestSeeds = append(t.bestSeeds[:0], inst.seeds...)
-		}
-	}
-}
-
-// Value implements Oracle.
-func (t *Threshold) Value() float64 {
-	t.refresh()
-	return t.bestVal
-}
-
-// Seeds implements Oracle.
-func (t *Threshold) Seeds() []stream.UserID {
-	t.refresh()
-	return t.bestSeeds
-}
-
-// Stats implements Oracle.
-func (t *Threshold) Stats() Stats { return Stats{Instances: len(t.insts), Elements: t.elements} }

@@ -1,16 +1,36 @@
 // Package pool provides a small persistent worker pool for data-parallel
 // loops over mutually independent shards — the concurrency substrate of the
-// parallel ingestion engine. The sieve-style checkpoint oracles maintain
-// O(log k / β) candidate instances that never share mutable state, so a
-// per-element offer can fan out across cores and join with no algorithmic
-// change; the pool keeps the workers parked between elements so the hot
-// path pays a channel handoff per shard instead of a goroutine spawn.
+// parallel ingestion engine. The checkpoint frameworks flatten one action's
+// (checkpoint × oracle-shard) fan-out into a single Run call, so the pool
+// sits directly on the ingestion hot path: workers stay parked between
+// elements, and a steady-state Run performs no heap allocation — run
+// descriptors are recycled through a sync.Pool and workers receive a small
+// value struct per shard instead of a fresh closure.
 package pool
 
 import (
 	"runtime"
 	"sync"
 )
+
+// runState is one Run call's shared descriptor. Workers derive their index
+// range from (n, shards, shard index), so submitting a shard costs one
+// channel send of a two-word value — no per-shard closure.
+type runState struct {
+	fn     func(i int)
+	n      int
+	shards int
+	wg     sync.WaitGroup
+}
+
+var runStates = sync.Pool{New: func() any { return new(runState) }}
+
+// shardTask is the unit handed to a worker: shard s of the loop described
+// by rs.
+type shardTask struct {
+	rs *runState
+	s  int
+}
 
 // Pool is a fixed set of persistent worker goroutines that execute parallel
 // for-loops submitted through Run. A nil *Pool is valid and runs every loop
@@ -22,7 +42,7 @@ import (
 // deadlock once all workers are occupied).
 type Pool struct {
 	workers int
-	tasks   chan func()
+	tasks   chan shardTask
 	closed  sync.Once
 }
 
@@ -35,7 +55,7 @@ func New(n int) *Pool {
 	if n <= 1 {
 		return nil
 	}
-	p := &Pool{workers: n, tasks: make(chan func(), n)}
+	p := &Pool{workers: n, tasks: make(chan shardTask, n)}
 	// The submitting goroutine always runs shard 0 itself, so n-1 parked
 	// workers saturate n cores.
 	for i := 0; i < n-1; i++ {
@@ -45,8 +65,13 @@ func New(n int) *Pool {
 }
 
 func (p *Pool) worker() {
-	for fn := range p.tasks {
-		fn()
+	for t := range p.tasks {
+		rs := t.rs
+		lo, hi := t.s*rs.n/rs.shards, (t.s+1)*rs.n/rs.shards
+		for i := lo; i < hi; i++ {
+			rs.fn(i)
+		}
+		rs.wg.Done()
 	}
 }
 
@@ -64,6 +89,10 @@ func (p *Pool) Workers() int {
 // executed by the calling goroutine means Run makes progress even if all
 // workers are busy with loops submitted by other callers. Calls of fn must
 // be safe to run concurrently with each other.
+//
+// Run itself is allocation-free in steady state provided fn does not
+// allocate at the call site (pass a cached func value, not a freshly
+// captured closure).
 func (p *Pool) Run(n int, fn func(i int)) {
 	shards := p.Workers()
 	if shards > n {
@@ -75,21 +104,18 @@ func (p *Pool) Run(n int, fn func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(shards - 1)
+	rs := runStates.Get().(*runState)
+	rs.fn, rs.n, rs.shards = fn, n, shards
+	rs.wg.Add(shards - 1)
 	for s := 1; s < shards; s++ {
-		lo, hi := s*n/shards, (s+1)*n/shards
-		p.tasks <- func() {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}
+		p.tasks <- shardTask{rs: rs, s: s}
 	}
 	for i := 0; i < n/shards; i++ { // shard 0, on the caller
 		fn(i)
 	}
-	wg.Wait()
+	rs.wg.Wait()
+	rs.fn = nil // do not retain the caller's func across reuse
+	runStates.Put(rs)
 }
 
 // Close releases the worker goroutines. Using the pool after Close panics;

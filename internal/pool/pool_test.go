@@ -66,6 +66,27 @@ func TestRunReusableAcrossCalls(t *testing.T) {
 	}
 }
 
+// TestRunSteadyStateAllocFree pins the hot-path contract: once the run
+// descriptor pool is warm, Run allocates nothing — submissions are value
+// sends, not closures. The fn is cached outside the loop, mirroring how the
+// checkpoint frameworks call Run.
+func TestRunSteadyStateAllocFree(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var sink [64]int64
+	fn := func(i int) { atomic.AddInt64(&sink[i%64], 1) }
+	// Warm the descriptor pool and worker scheduling.
+	for i := 0; i < 100; i++ {
+		p.Run(64, fn)
+	}
+	avg := testing.AllocsPerRun(200, func() { p.Run(64, fn) })
+	// sync.Pool can miss under GC pressure; allow a small residue rather
+	// than flaking, but fail on anything resembling per-shard allocation.
+	if avg > 0.5 {
+		t.Fatalf("Run allocates %.2f objects per call in steady state, want ~0", avg)
+	}
+}
+
 func TestCloseIdempotent(t *testing.T) {
 	p := New(2)
 	p.Close()

@@ -111,6 +111,11 @@ type Stream struct {
 	contribBuf []UserID
 	expireBuf  []UserID
 
+	// logChunk is an arena of userLog headers handed out to first-touched
+	// users: allocating them in blocks replaces one heap object per new
+	// user with one per logChunkSize users on the ingestion path.
+	logChunk []userLog
+
 	// Batch ingestion scratch (see IngestBatch): one contributor arena for
 	// the whole batch plus the per-action offsets into it, so every Delta of
 	// a batch stays readable until the next ingestion call.
@@ -127,15 +132,27 @@ type Stream struct {
 	userSet       map[UserID]struct{}
 }
 
+// logChunkSize is the arena block size for userLog headers.
+const logChunkSize = 256
+
 // New returns an empty Stream.
-func New() *Stream {
+func New() *Stream { return NewSized(0) }
+
+// NewSized returns an empty Stream with its per-user maps pre-sized for
+// usersHint distinct users, avoiding rehash-and-copy churn during the
+// initial window fill. A hint of 0 is New's default incremental growth; the
+// hint is advisory and never limits capacity.
+func NewSized(usersHint int) *Stream {
+	if usersHint < 0 {
+		usersHint = 0
+	}
 	return &Stream{
 		idx:     map[ActionID]*record{},
-		logs:    map[UserID]*userLog{},
+		logs:    make(map[UserID]*userLog, usersHint),
 		horizon: 0,
 		last:    -1,
-		seen:    map[UserID]uint64{},
-		userSet: map[UserID]struct{}{},
+		seen:    make(map[UserID]uint64, usersHint),
+		userSet: make(map[UserID]struct{}, usersHint),
 	}
 }
 
@@ -219,7 +236,11 @@ func (s *Stream) ingest(a Action, arena []UserID) ([]UserID, int, error) {
 	for _, u := range arena[base:] {
 		l := s.logs[u]
 		if l == nil {
-			l = &userLog{}
+			if len(s.logChunk) == 0 {
+				s.logChunk = make([]userLog, logChunkSize)
+			}
+			l = &s.logChunk[0]
+			s.logChunk = s.logChunk[1:]
 			s.logs[u] = l
 		}
 		l.touch(a.User, a.ID)
@@ -258,6 +279,11 @@ func (s *Stream) Advance(horizon ActionID) {
 			if l := s.logs[u]; l != nil {
 				l.prune(horizon)
 				if len(l.list) == 0 {
+					// Release the backing array explicitly: the header
+					// lives in a logChunk arena that stays reachable while
+					// any sibling is live, so a dangling list field would
+					// pin the dead user's contributions indefinitely.
+					l.list = nil
 					delete(s.logs, u)
 				}
 			}

@@ -425,6 +425,44 @@ func TestActionString(t *testing.T) {
 	}
 }
 
+// TestNewSizedMatchesNew: the capacity hint is purely advisory — a
+// pre-sized stream answers every query identically to a default one, for
+// hints below, at and above the actual user count.
+func TestNewSizedMatchesNew(t *testing.T) {
+	actions := make([]Action, 0, 500)
+	for i := 1; i <= 500; i++ {
+		a := Action{ID: ActionID(i), User: UserID(i % 37), Parent: NoParent}
+		if i > 1 && i%3 != 0 {
+			a.Parent = ActionID(i - 1)
+		}
+		actions = append(actions, a)
+	}
+	ref := New()
+	for _, a := range actions {
+		if _, err := ref.Ingest(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.Advance(200)
+	for _, hint := range []int{-1, 0, 10, 37, 10000} {
+		s := NewSized(hint)
+		for _, a := range actions {
+			if _, err := s.Ingest(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Advance(200)
+		if s.Stats() != ref.Stats() {
+			t.Fatalf("hint %d: stats %+v != %+v", hint, s.Stats(), ref.Stats())
+		}
+		for u := UserID(0); u < 37; u++ {
+			if got, want := s.InfluenceSet(u, 200), ref.InfluenceSet(u, 200); !reflect.DeepEqual(got, want) {
+				t.Fatalf("hint %d: user %d influence %v != %v", hint, u, got, want)
+			}
+		}
+	}
+}
+
 func BenchmarkIngestChainDepth5(b *testing.B) {
 	s := New()
 	for i := 1; i <= b.N; i++ {

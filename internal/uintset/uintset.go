@@ -197,3 +197,10 @@ func (m *Map) Get(k uint32) (float64, bool) {
 
 // Len returns the number of entries.
 func (m *Map) Len() int { return m.count }
+
+// Reset empties the map, keeping its capacity. Stale values behind cleared
+// keys are unreachable and overwritten on reuse.
+func (m *Map) Reset() {
+	clear(m.keys)
+	m.count = 0
+}

@@ -1,0 +1,110 @@
+package sim_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/sim"
+)
+
+// identityDatasets generates all four evaluation stream shapes (Reddit-like,
+// Twitter-like, SYN-O, SYN-N) at a scale small enough that the full
+// cross-product below stays fast under -race.
+func identityDatasets() []struct {
+	name    string
+	actions []sim.Action
+} {
+	const (
+		users  = 500
+		stream = 2600
+		window = 700
+		seed   = 11
+	)
+	cfgs := []gen.Config{
+		gen.RedditLike(users, stream, window, seed),
+		gen.TwitterLike(users, stream, window, seed),
+		gen.SynO(users, stream, window, seed),
+		gen.SynN(users, stream, window, seed),
+	}
+	out := make([]struct {
+		name    string
+		actions []sim.Action
+	}, len(cfgs))
+	for i, c := range cfgs {
+		out[i].name = c.Name
+		out[i].actions = gen.Stream(c)
+	}
+	return out
+}
+
+// TestShardedIdentityAcrossWidths is the cross-layer identity invariant of
+// the checkpoint-sharded feed engine: for every generated dataset, both
+// frameworks (IC and SIC), and both window modes (sequence- and time-based),
+// runs at parallelism 1, 2 and 8 produce identical Seeds(), Value() and
+// CheckpointStarts() at every slide boundary. Run under -race in CI, this
+// doubles as the data-race gate for the flattened (checkpoint × shard)
+// fan-out.
+func TestShardedIdentityAcrossWidths(t *testing.T) {
+	const (
+		window = 700
+		slide  = 50
+		k      = 6
+	)
+	widths := []int{1, 2, 8}
+	for _, ds := range identityDatasets() {
+		for _, fw := range []sim.Framework{sim.SIC, sim.IC} {
+			for _, byTime := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%v/byTime=%v", ds.name, fw, byTime)
+				t.Run(name, func(t *testing.T) {
+					trs := make([]*sim.Tracker, len(widths))
+					for i, w := range widths {
+						tr, err := sim.New(sim.Config{
+							K: k, WindowSize: window, Slide: slide, Beta: 0.1,
+							Framework: fw, TimeBased: byTime, Parallelism: w,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						defer tr.Close()
+						trs[i] = tr
+					}
+					ref := trs[0]
+					for i, a := range ds.actions {
+						for _, tr := range trs {
+							if err := tr.Process(a); err != nil {
+								t.Fatal(err)
+							}
+						}
+						if (i+1)%slide != 0 {
+							continue
+						}
+						refVal, refSeeds := ref.Value(), ref.Seeds()
+						refCps := ref.Internal().CheckpointStarts()
+						for j, tr := range trs[1:] {
+							w := widths[j+1]
+							if v := tr.Value(); v != refVal {
+								t.Fatalf("action %d: width %d value %v != serial %v", i+1, w, v, refVal)
+							}
+							if s := tr.Seeds(); !reflect.DeepEqual(s, refSeeds) {
+								t.Fatalf("action %d: width %d seeds %v != serial %v", i+1, w, s, refSeeds)
+							}
+							if c := tr.Internal().CheckpointStarts(); !reflect.DeepEqual(c, refCps) {
+								t.Fatalf("action %d: width %d checkpoints %v != serial %v", i+1, w, c, refCps)
+							}
+						}
+					}
+					// Maintenance counters must agree too: identical element
+					// fan-out, creations and deletions at every width.
+					refStats := ref.Stats()
+					for j, tr := range trs[1:] {
+						if st := tr.Stats(); st != refStats {
+							t.Fatalf("width %d stats %+v != serial %+v", widths[j+1], st, refStats)
+						}
+					}
+				})
+			}
+		}
+	}
+}

@@ -17,15 +17,17 @@
 //	    seeds := tr.Seeds() // current influential users
 //	}
 //
-// The ingestion hot path scales with cores through two Config options, both
-// defaulting to the exact legacy serial behavior: Parallelism (default 1)
-// fans the per-element sweep over each checkpoint oracle's independent
-// candidate instances across a worker pool, with bit-identical results at
-// any width; BatchSize (default 1) groups actions so the stream index,
-// oracle feeding and window maintenance amortize across a batch, with
-// results exact at batch boundaries and every query flushing first.
-// Trackers with Parallelism > 1 own worker goroutines — release them with
-// Close.
+// The ingestion hot path is a checkpoint-sharded feed with a
+// zero-allocation element path: influence sets reach the oracles as shared
+// slice views rather than closures, and two Config options scale it with
+// cores, both defaulting to the exact legacy serial behavior. Parallelism
+// (default 1) flattens each action's (checkpoint × oracle-shard) fan-out
+// into one worker-pool loop — parallel width is the sum of ALL live
+// checkpoints' instance counts — with bit-identical results at any width;
+// BatchSize (default 1) groups actions so the stream index, oracle feeding
+// and window maintenance amortize across a batch, with results exact at
+// batch boundaries and every query flushing first. Trackers with
+// Parallelism > 1 own worker goroutines — release them with Close.
 package sim
 
 import (
@@ -151,15 +153,18 @@ type Config struct {
 	// An extension beyond the paper; the approximation guarantees carry
 	// over because expiry is timestamp-driven either way.
 	TimeBased bool
-	// Parallelism is the number of worker goroutines the sieve-style
-	// checkpoint oracles fan their per-element instance sweep across. The
-	// O(log K / Beta) candidate instances per checkpoint are mutually
-	// independent, so the fan-out changes no admission decision: results
-	// are bit-identical to the serial path at any width. 1 (or 0, the zero
-	// value) keeps the exact legacy serial path; a negative value selects
-	// GOMAXPROCS. Ignored by the swap oracles (BlogWatch, MkC), which keep
-	// a single candidate. Trackers with Parallelism > 1 own worker
-	// goroutines; call Close to release them.
+	// Parallelism is the number of worker goroutines the checkpoint-sharded
+	// feed engine fans each action's oracle updates across. Every live
+	// checkpoint's sieve-style oracle splits into mutually independent
+	// shards (one per candidate instance), and one parallel loop covers the
+	// shards of ALL checkpoints at once — so the width scales with the sum
+	// of the checkpoints' instance counts and stays wide even under SIC's
+	// few-instances-per-oracle regime. The fan-out changes no admission
+	// decision: results are bit-identical to the serial path at any width.
+	// 1 (or 0, the zero value) keeps the exact legacy serial path; a
+	// negative value selects GOMAXPROCS. Ignored by the swap oracles
+	// (BlogWatch, MkC), which expose no shards. Trackers with
+	// Parallelism > 1 own worker goroutines; call Close to release them.
 	Parallelism int
 	// BatchSize groups ingested actions: Process enqueues, and every
 	// BatchSize actions the whole group is ingested at once, feeding each
@@ -172,6 +177,11 @@ type Config struct {
 	// the guarantee band; queries (Seeds, Value, …) flush pending actions
 	// first and are therefore always exact for everything Processed.
 	BatchSize int
+	// ExpectedUsers, when positive, pre-sizes the stream index's per-user
+	// maps for that many distinct users, avoiding rehash churn during the
+	// initial window fill. Purely a capacity hint: results and limits are
+	// unaffected. 0 (the default) grows incrementally, the legacy behavior.
+	ExpectedUsers int
 }
 
 // Tracker continuously answers one SIM query. It is not safe for concurrent
@@ -210,15 +220,20 @@ func New(cfg Config) (*Tracker, error) {
 	} else if par == 0 {
 		par = 1 // the documented default: serial
 	}
+	if cfg.ExpectedUsers < 0 {
+		return nil, fmt.Errorf("sim: ExpectedUsers must be >= 0, got %d", cfg.ExpectedUsers)
+	}
 	p := pool.New(par)
 	fw, err := core.New(core.Config{
-		K:      cfg.K,
-		N:      cfg.WindowSize,
-		L:      cfg.Slide,
-		Beta:   cfg.Beta,
-		Oracle: oracle.NewParallelFactory(cfg.Oracle.kind(), cfg.Beta, cfg.Weights, p),
-		Sparse: cfg.Framework == SIC,
-		ByTime: cfg.TimeBased,
+		K:         cfg.K,
+		N:         cfg.WindowSize,
+		L:         cfg.Slide,
+		Beta:      cfg.Beta,
+		Oracle:    oracle.NewFactory(cfg.Oracle.kind(), cfg.Beta, cfg.Weights),
+		Sparse:    cfg.Framework == SIC,
+		ByTime:    cfg.TimeBased,
+		Pool:      p,
+		UsersHint: cfg.ExpectedUsers,
 	})
 	if err != nil {
 		p.Close()
