@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt fmt-check vet ci
+.PHONY: all build test race bench bench-json fmt fmt-check vet ci serve serve-smoke
 
 all: build
 
@@ -28,6 +28,17 @@ BENCH_JSON ?= BENCH_PR2.json
 bench-json:
 	$(GO) run ./cmd/simbench -exp tput,par -scale smoke -json $(BENCH_JSON)
 
+# Run the serving layer (cmd/simserve) on :8384 with a default tracker.
+# Override flags with SERVE_FLAGS, e.g. make serve SERVE_FLAGS='-k 20 -window 100000'.
+SERVE_FLAGS ?= -k 10 -window 50000
+serve:
+	$(GO) run ./cmd/simserve $(SERVE_FLAGS)
+
+# End-to-end serving smoke (also a CI step): boot simserve, POST 1k
+# generated actions over HTTP, assert non-empty seeds, SIGTERM drain.
+serve-smoke:
+	sh ./scripts/serve_smoke.sh
+
 fmt:
 	gofmt -w .
 
@@ -39,4 +50,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench
+ci: fmt-check vet build race bench serve-smoke

@@ -1,23 +1,37 @@
 // Command simgen generates synthetic social action streams in the formats
-// consumed by simtrack: TSV ("id<TAB>user<TAB>parent", parent = -1 for
-// roots) or the compact SIM1 binary format.
+// consumed by simtrack and simserve: TSV ("id<TAB>user<TAB>parent", parent
+// = -1 for roots), the compact SIM1 binary format, or NDJSON (the simserve
+// ingest body format).
 //
 // Usage:
 //
 //	simgen -preset twitter -users 10000 -actions 100000 > twitter.tsv
 //	simgen -preset syn-o -window 20000 -seed 7 -format binary -out syn.bin
+//	simgen -preset syn-o -actions 50000 -format ndjson -out syn.ndjson
+//
+// With -post, simgen becomes a load generator: instead of writing a file it
+// POSTs the stream as NDJSON chunks to a running simserve instance and
+// reports the achieved ingest rate —
+//
+//	simserve -addr :8384 -k 10 -window 50000 &
+//	simgen -preset syn-o -actions 100000 -post http://localhost:8384/v1/trackers/default/actions
 //
 // Presets: reddit, twitter, syn-o, syn-n (see DESIGN.md §4 for how each
 // relates to the paper's datasets).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/dataio"
 	"repro/internal/gen"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -27,8 +41,10 @@ func main() {
 		actions = flag.Int("actions", 100000, "stream length")
 		window  = flag.Int("window", 10000, "window size N the stream is scaled for")
 		seed    = flag.Int64("seed", 1, "random seed")
-		format  = flag.String("format", "tsv", "output format: tsv or binary")
+		format  = flag.String("format", "tsv", "output format: tsv, binary or ndjson")
 		out     = flag.String("out", "", "output path (default stdout)")
+		post    = flag.String("post", "", "load-generator mode: POST the stream as NDJSON chunks to this simserve ingest URL instead of writing it")
+		chunk   = flag.Int("chunk", 1000, "actions per POST in -post mode")
 	)
 	flag.Parse()
 
@@ -47,6 +63,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	actionsOut := gen.Stream(cfg)
+
+	if *post != "" {
+		if err := drive(*post, actionsOut, *chunk); err != nil {
+			fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -57,13 +83,14 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	stream := gen.Stream(cfg)
 	var err error
 	switch *format {
 	case "tsv":
-		err = dataio.WriteTSV(w, stream)
+		err = dataio.WriteTSV(w, actionsOut)
 	case "binary":
-		err = dataio.WriteBinary(w, stream)
+		err = dataio.WriteBinary(w, actionsOut)
+	case "ndjson":
+		err = dataio.WriteNDJSON(w, actionsOut)
 	default:
 		fmt.Fprintf(os.Stderr, "simgen: unknown format %q\n", *format)
 		os.Exit(2)
@@ -72,4 +99,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simgen: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// drive is the load-generator mode: POST the stream to a simserve ingest
+// endpoint in NDJSON chunks and report the end-to-end ingest rate.
+func drive(url string, actions []stream.Action, chunk int) error {
+	if chunk < 1 {
+		chunk = 1
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+	var buf bytes.Buffer
+	for i := 0; i < len(actions); i += chunk {
+		end := min(i+chunk, len(actions))
+		buf.Reset()
+		if err := dataio.WriteNDJSON(&buf, actions[i:end]); err != nil {
+			return err
+		}
+		resp, err := client.Post(url, "application/x-ndjson", &buf)
+		if err != nil {
+			return fmt.Errorf("chunk at %d: %w", i, err)
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("chunk at %d: status %d: %s", i, resp.StatusCode, bytes.TrimSpace(body))
+		}
+	}
+	elapsed := time.Since(start)
+	rate := float64(len(actions)) / elapsed.Seconds()
+	fmt.Printf("posted %d actions in %d chunks over %v (%.0f actions/s)\n",
+		len(actions), (len(actions)+chunk-1)/chunk, elapsed.Round(time.Millisecond), rate)
+	return nil
 }

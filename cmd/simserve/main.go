@@ -1,0 +1,264 @@
+// Command simserve runs the long-lived SIM serving layer: one or more named
+// trackers behind an HTTP API that ingests NDJSON actions and answers
+// influence queries while the stream keeps flowing (internal/server).
+//
+// A single tracker from flags:
+//
+//	simserve -addr :8384 -k 10 -window 50000
+//
+// or several from a JSON spec:
+//
+//	simserve -spec trackers.json
+//	# {"trackers": {"default": {"k": 10, "window": 50000},
+//	#               "fast":    {"k": 5, "window": 10000, "oracle": "threshold"}}}
+//
+// Ingest and query over HTTP:
+//
+//	simgen -preset syn-o -actions 100000 -format ndjson |
+//	    curl -s --data-binary @- localhost:8384/v1/trackers/default/actions
+//	curl -s localhost:8384/v1/trackers/default/seeds
+//	curl -s localhost:8384/metrics
+//
+// -replay feeds a recorded stream (TSV, SIM1 binary or NDJSON; "-" for
+// stdin) through the same ingest path at startup; -follow keeps tailing the
+// file for appended actions, turning a growing log into a live feed.
+//
+// On SIGTERM/SIGINT the server shuts the listener down, stops the replay
+// follower, drains every tracker's ingest queue, and only then exits — no
+// accepted action is lost.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dataio"
+	"repro/internal/server"
+	"repro/sim"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8384", "HTTP listen address")
+		spec      = flag.String("spec", "", "JSON tracker spec file (overrides the single-tracker flags)")
+		name      = flag.String("name", "default", "tracker name for the flag-built tracker")
+		k         = flag.Int("k", 10, "seed budget k")
+		window    = flag.Int("window", 50000, "window size N")
+		slide     = flag.Int("slide", 1, "slide length L")
+		beta      = flag.Float64("beta", 0.1, "beta knob")
+		framework = flag.String("framework", "sic", "framework: sic or ic")
+		orc       = flag.String("oracle", "sieve", "oracle: sieve, threshold, blogwatch, mkc")
+		par       = flag.Int("parallelism", 0, "checkpoint-shard worker width (1 = serial, -1 = GOMAXPROCS)")
+		batch     = flag.Int("batch", 0, "sim ingestion batch size (1 = per-action)")
+		users     = flag.Int("users", 0, "expected distinct users (stream index pre-sizing hint)")
+		queue     = flag.Int("queue", 0, "ingest queue capacity in batches (0 = default 256)")
+		replay    = flag.String("replay", "", "replay a stream file (TSV/SIM1/NDJSON, \"-\" = stdin) into the flag-built tracker")
+		follow    = flag.Bool("follow", false, "keep tailing the -replay file for appended actions")
+		chunk     = flag.Int("replay-chunk", 512, "actions per replay ingest batch")
+	)
+	flag.Parse()
+
+	reg := server.NewRegistry()
+	replayTarget := *name
+	if *spec != "" {
+		f, err := os.Open(*spec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		specs, err := server.ReadSpecs(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for sname, sp := range specs {
+			if _, err := reg.Add(sname, sp); err != nil {
+				fatalf("%v", err)
+			}
+			log.Printf("tracker %q: k=%d window=%d framework=%v oracle=%v", sname, sp.K, sp.Window, sp.Framework, sp.Oracle)
+		}
+		if *replay != "" {
+			if _, ok := reg.Get(replayTarget); !ok {
+				fatalf("-replay targets tracker %q, not present in %s", replayTarget, *spec)
+			}
+		}
+	} else {
+		fwk, err := sim.ParseFramework(*framework)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		o, err := sim.ParseOracle(*orc)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sp := server.Spec{
+			K: *k, Window: *window, Slide: *slide, Beta: *beta,
+			Framework: fwk, Oracle: o,
+			Parallelism: *par, Batch: *batch, ExpectedUsers: *users, Queue: *queue,
+		}
+		if _, err := reg.Add(*name, sp); err != nil {
+			fatalf("%v", err)
+		}
+		log.Printf("tracker %q: k=%d window=%d framework=%v oracle=%v", *name, *k, *window, fwk, o)
+	}
+
+	srv := server.New(reg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	replayDone := make(chan error, 1)
+	if *replay != "" {
+		t, _ := reg.Get(replayTarget)
+		go func() { replayDone <- runReplay(ctx, t, *replay, *follow, *chunk) }()
+	} else {
+		replayDone <- nil
+	}
+
+	httpDone := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		httpDone <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received, draining")
+	case err := <-httpDone:
+		fatalf("http: %v", err)
+	}
+
+	// Graceful drain: stop accepting connections and let in-flight requests
+	// finish, stop the replay follower, then drain every ingest queue.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := <-replayDone; err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("replay: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	for _, n := range reg.Names() {
+		if t, ok := reg.Get(n); ok {
+			snap := t.Snapshot()
+			log.Printf("tracker %q: processed=%d value=%g seeds=%v", n, snap.Processed, snap.Value, snap.Seeds)
+		}
+	}
+}
+
+// runReplay streams a recorded action log into t through the same bounded
+// ingest queue the HTTP path uses, in chunks of chunkSize. With follow, the
+// reader keeps tailing the file for appended bytes until ctx is canceled,
+// and a partially filled chunk is flushed whenever the feed goes idle so
+// served answers never lag a paused producer. The final flush runs even
+// after ctx cancellation (drain semantics: whatever was read is fed before
+// the tracker shuts down — main closes the registry only after runReplay
+// returns).
+func runReplay(ctx context.Context, t *server.Tracked, path string, follow bool, chunkSize int) error {
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	batch := make([]sim.Action, 0, chunkSize)
+	count := 0
+	flush := func(fctx context.Context) error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := t.Submit(fctx, batch); err != nil {
+			// Keep the batch: a cancellation-aborted submit is retried by
+			// the final context.Background() drain flush.
+			return fmt.Errorf("after %d actions: %w", count, err)
+		}
+		batch = batch[:0]
+		return nil
+	}
+	if follow {
+		// onIdle runs on this goroutine, between decoder Read calls, so it
+		// may safely flush the partial chunk accumulated so far.
+		r = &tailReader{ctx: ctx, r: r, poll: 200 * time.Millisecond,
+			onIdle: func() error { return flush(ctx) }}
+	}
+	var subErr error
+	err := dataio.ReadAuto(r, func(a sim.Action) bool {
+		batch = append(batch, a)
+		count++
+		if len(batch) >= chunkSize {
+			if subErr = flush(ctx); subErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if subErr != nil && !errors.Is(subErr, context.Canceled) {
+		// A real ingest error (bad IDs, closed tracker): the kept batch
+		// would only fail again, so report it. Cancellation instead falls
+		// through to the drain flush below.
+		return subErr
+	}
+	if err != nil {
+		return err
+	}
+	// Deliberately not ctx: a SIGTERM that ended a -follow tail (or aborted
+	// a mid-stream flush) must not drop the last partial chunk on the floor.
+	if err := flush(context.Background()); err != nil {
+		return err
+	}
+	log.Printf("replay: fed %d actions from %s", count, path)
+	return nil
+}
+
+// tailReader turns EOF into "wait for more": on underlying EOF it invokes
+// onIdle (flushing replay's partial chunk), then sleeps and retries until
+// its context is canceled, at which point it reports EOF for real. This is
+// what makes -follow a live file feed.
+type tailReader struct {
+	ctx    context.Context
+	r      io.Reader
+	poll   time.Duration
+	onIdle func() error
+}
+
+func (t *tailReader) Read(p []byte) (int, error) {
+	for {
+		n, err := t.r.Read(p)
+		if n > 0 || (err != nil && err != io.EOF) {
+			return n, err
+		}
+		if t.onIdle != nil {
+			if err := t.onIdle(); err != nil {
+				return 0, io.EOF // surface via replay's final flush path
+			}
+		}
+		select {
+		case <-t.ctx.Done():
+			return 0, io.EOF
+		case <-time.After(t.poll):
+		}
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "simserve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Serve walkthrough: the full simserve client path in one process. We boot
+// the serving layer (internal/server) on a loopback listener, stream a
+// synthetic SYN-O workload into it over HTTP as NDJSON chunks — querying
+// the current seeds WHILE ingestion is running, the paper's real-time
+// operating mode — and finally check that the served answer is bit-identical
+// to a serial sim.Tracker replay of the same actions.
+//
+// Run with: go run ./examples/serve
+//
+// The same flow against a real simserve process:
+//
+//	simserve -addr :8384 -k 5 -window 2000 &
+//	simgen -preset syn-o -users 500 -actions 10000 -format ndjson |
+//	    curl -s --data-binary @- localhost:8384/v1/trackers/default/actions
+//	curl -s localhost:8384/v1/trackers/default/seeds
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"reflect"
+
+	"repro/internal/dataio"
+	"repro/internal/gen"
+	"repro/internal/server"
+	"repro/sim"
+)
+
+func main() {
+	// A tracker spec, exactly what simserve -spec would read from JSON.
+	spec := server.Spec{K: 5, Window: 2000, Framework: sim.SIC, Oracle: sim.SieveStreaming}
+
+	reg := server.NewRegistry()
+	if _, err := reg.Add("default", spec); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: server.New(reg)}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n", base)
+
+	// A synthetic workload: 10k actions of the paper's SYN-O stream.
+	actions := gen.Stream(gen.SynO(500, 10000, 2000, 7))
+
+	// Ingest in NDJSON chunks, peeking at the live answer along the way —
+	// reads never block ingestion, they consume the published snapshot.
+	for i := 0; i < len(actions); i += 1000 {
+		var body bytes.Buffer
+		if err := dataio.WriteNDJSON(&body, actions[i:min(i+1000, len(actions))]); err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.Post(base+"/v1/trackers/default/actions", "application/x-ndjson", &body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("ingest: status %d", resp.StatusCode)
+		}
+
+		var seeds server.SeedsResponse
+		getJSON(base+"/v1/trackers/default/seeds", &seeds)
+		fmt.Printf("t=%-6d seeds=%v value=%.0f\n", seeds.Processed, seeds.Seeds, seeds.Value)
+	}
+
+	// The served state must match a serial replay exactly (the snapshot is
+	// taken after each 1000-chunk, mirroring the server's publish points).
+	ref, err := sim.New(spec.Config())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ref.Close()
+	var want sim.Snapshot
+	for i := 0; i < len(actions); i += 1000 {
+		if err := ref.ProcessAll(actions[i:min(i+1000, len(actions))]); err != nil {
+			log.Fatal(err)
+		}
+		want = ref.Snapshot()
+	}
+	var got sim.Snapshot
+	getJSON(base+"/v1/trackers/default", &got)
+	if !reflect.DeepEqual(got, want) {
+		log.Fatalf("served snapshot diverged from serial replay:\n got %+v\nwant %+v", got, want)
+	}
+	fmt.Printf("server matches serial replay: seeds=%v value=%.0f checkpoints=%d\n",
+		got.Seeds, got.Value, got.Checkpoints)
+
+	// Graceful drain, the SIGTERM path of cmd/simserve.
+	httpSrv.Close()
+	if err := reg.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("drained and closed")
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -79,8 +79,9 @@ type Scale struct {
 	Samples int
 	// Seed fixes all randomness.
 	Seed int64
-	// Parallelism is the oracle worker-pool width used by the streaming
-	// runs (sim.Config.Parallelism). 1 = serial, the legacy default.
+	// Parallelism is the checkpoint-shard worker width used by the
+	// streaming runs (sim.Config.Parallelism) — a tracker-level setting,
+	// not per-oracle. 1 = serial, the legacy default.
 	Parallelism int
 	// BatchSize is the ingestion batch size used by the streaming runs
 	// (sim.Config.BatchSize). 1 = per-action, the legacy default.

@@ -12,6 +12,21 @@
 // sandwiched within a (1−β) band of a predecessor (Algorithm 2), keeping
 // O(log N / β) of them while guaranteeing an ε(1−β)/2 approximation
 // (Theorems 3–5).
+//
+// The per-action feed is checkpoint-sharded: each contributor's element is
+// materialized once as a shared influence-set view, and when Config.Pool is
+// set, the (checkpoint × oracle-shard) cells of every live checkpoint whose
+// oracle implements oracle.Sharded are flattened into one pool.Run call —
+// parallel width Σ_cp shards(cp), results bit-identical to the serial path.
+// ProcessBatch ingests a whole slice of actions at once, feeding each
+// checkpoint one element per distinct contributor of the batch and running
+// window maintenance once per batch.
+//
+// A Framework is single-writer: it is not safe for concurrent use, and the
+// Pool only fans out the internals of one Process call. Concurrent serving
+// is layered on top by internal/server, which owns each Framework (via
+// sim.Tracker) from one ingest goroutine and publishes immutable snapshots
+// for readers.
 package core
 
 import (

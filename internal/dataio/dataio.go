@@ -5,9 +5,12 @@
 //     roots. Human-inspectable; produced by simgen and consumed by simtrack.
 //   - Binary: a compact varint encoding (~5x smaller, ~10x faster to parse),
 //     with a magic header for sniffing. Suited to large generated datasets.
+//   - NDJSON: one {"id":…,"user":…,"parent":…} object per line ("parent"
+//     omitted for roots) — the ingest body format of the simserve HTTP API.
 //
-// Both formats stream: readers deliver actions through a callback without
-// materializing the whole dataset.
+// All formats stream: readers deliver actions through a callback without
+// materializing the whole dataset, and ReadAuto sniffs the format from the
+// first bytes (binary magic, then '{' for NDJSON, else TSV).
 package dataio
 
 import (
@@ -162,12 +165,16 @@ func ReadBinary(r io.Reader, visit func(stream.Action) bool) error {
 	}
 }
 
-// ReadAuto sniffs the format (binary magic vs TSV) and streams the actions.
+// ReadAuto sniffs the format (binary magic, '{' for NDJSON, else TSV) and
+// streams the actions.
 func ReadAuto(r io.Reader, visit func(stream.Action) bool) error {
 	br := bufio.NewReaderSize(r, 1<<20)
 	head, err := br.Peek(4)
 	if err == nil && [4]byte(head) == binaryMagic {
 		return ReadBinary(br, visit)
+	}
+	if len(head) > 0 && head[0] == '{' {
+		return ReadNDJSON(br, visit)
 	}
 	return ReadTSV(br, visit)
 }

@@ -1,0 +1,91 @@
+package dataio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/stream"
+)
+
+// actionJSON is the NDJSON wire form of one action: one JSON object per
+// line. "parent" may be omitted (or set to -1) for root actions, so a
+// minimal line is {"id":1,"user":7}.
+type actionJSON struct {
+	ID     int64  `json:"id"`
+	User   uint32 `json:"user"`
+	Parent *int64 `json:"parent,omitempty"`
+}
+
+// WriteNDJSON writes actions in the NDJSON format: one {"id":…,"user":…,
+// "parent":…} object per line, with "parent" omitted for roots. This is the
+// ingest body format of the simserve HTTP API (internal/server).
+func WriteNDJSON(w io.Writer, actions []stream.Action) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw) // Encode appends the newline NDJSON needs
+	for _, a := range actions {
+		rec := actionJSON{ID: int64(a.ID), User: uint32(a.User)}
+		if !a.Root() {
+			p := int64(a.Parent)
+			rec.Parent = &p
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// action converts a decoded record, rejecting invalid parents. A missing
+// "parent" field — or an explicit -1 — marks a root action.
+func (rec actionJSON) action() (stream.Action, error) {
+	a := stream.Action{ID: stream.ActionID(rec.ID), User: stream.UserID(rec.User), Parent: stream.NoParent}
+	if rec.Parent != nil {
+		if *rec.Parent < -1 {
+			return stream.Action{}, fmt.Errorf("dataio: bad parent %d", *rec.Parent)
+		}
+		a.Parent = stream.ActionID(*rec.Parent)
+	}
+	return a, nil
+}
+
+// ParseNDJSONLine parses one NDJSON action line.
+func ParseNDJSONLine(line []byte) (stream.Action, error) {
+	var rec actionJSON
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return stream.Action{}, fmt.Errorf("dataio: bad NDJSON action: %w", err)
+	}
+	return rec.action()
+}
+
+// ReadNDJSON streams actions from NDJSON input to visit, stopping early if
+// visit returns false. One json.Decoder consumes the whole input (NDJSON is
+// a valid JSON value stream), so parsing does not allocate a reader and
+// decoder per line — this runs once per ingest HTTP request on the server's
+// hot path. Blank lines are skipped (inter-value whitespace); errors name
+// the 1-based record.
+func ReadNDJSON(r io.Reader, visit func(stream.Action) bool) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	for n := 1; ; n++ {
+		var rec actionJSON
+		err := dec.Decode(&rec)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("record %d: dataio: bad NDJSON action: %w", n, err)
+		}
+		a, err := rec.action()
+		if err != nil {
+			return fmt.Errorf("record %d: %w", n, err)
+		}
+		if !visit(a) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"repro/internal/server"
+	"repro/sim"
+)
+
+// ExampleServer is the HTTP client path end to end: boot a server over one
+// tracker, POST the paper's Figure 1 stream as NDJSON, and query the seeds.
+func ExampleServer() {
+	reg := server.NewRegistry()
+	if _, err := reg.Add("default", server.Spec{K: 2, Window: 8}); err != nil {
+		panic(err)
+	}
+	srv := httptest.NewServer(server.New(reg))
+	defer srv.Close()
+	defer reg.Close()
+
+	body := `{"id":1,"user":1}
+{"id":2,"user":2,"parent":1}
+{"id":3,"user":3}
+{"id":4,"user":3,"parent":1}
+{"id":5,"user":4,"parent":3}
+{"id":6,"user":1,"parent":3}
+{"id":7,"user":5,"parent":3}
+{"id":8,"user":4,"parent":7}
+`
+	resp, err := http.Post(srv.URL+"/v1/trackers/default/actions",
+		"application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	io.Copy(os.Stdout, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/v1/trackers/default/seeds")
+	if err != nil {
+		panic(err)
+	}
+	io.Copy(os.Stdout, resp.Body)
+	resp.Body.Close()
+	// Output:
+	// {"accepted":8,"processed":8}
+	// {"seeds":[1,3],"value":5,"window_start":1,"processed":8}
+}
+
+// ExampleTracked is the embedded client path: the same serving loop without
+// HTTP — submit batches through the bounded queue and read the published
+// snapshot from any goroutine.
+func ExampleTracked() {
+	reg := server.NewRegistry()
+	tracked, err := reg.Add("demo", server.Spec{K: 2, Window: 8})
+	if err != nil {
+		panic(err)
+	}
+	defer reg.Close()
+
+	batch := []sim.Action{
+		{ID: 1, User: 1, Parent: sim.NoParent},
+		{ID: 2, User: 2, Parent: 1},
+		{ID: 3, User: 3, Parent: sim.NoParent},
+		{ID: 4, User: 3, Parent: 1},
+		{ID: 5, User: 4, Parent: 3},
+	}
+	processed, err := tracked.Submit(context.Background(), batch)
+	if err != nil {
+		panic(err)
+	}
+	snap := tracked.Snapshot()
+	fmt.Printf("processed=%d seeds=%v value=%.0f\n", processed, snap.Seeds, snap.Value)
+	// Output: processed=5 seeds=[1 3] value=4
+}

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// handleMetrics serves plain-text operational counters in the Prometheus
+// exposition format (gauges only, no client library needed):
+//
+//	simserve_uptime_seconds                          server uptime
+//	simserve_trackers                                registered trackers
+//	simserve_ingested_total{tracker="..."}           accepted actions
+//	simserve_actions_per_sec{tracker="..."}          lifetime average ingest rate
+//	simserve_value{tracker="..."}                    current influence value
+//	simserve_checkpoints_live{tracker="..."}         live checkpoints
+//	simserve_elements_fed_total{tracker="..."}       oracle updates (the O(d·N) term)
+//	simserve_queue_depth{tracker="..."}              commands waiting for the ingest loop
+//	simserve_queue_capacity{tracker="..."}           ingest queue bound
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "simserve_uptime_seconds %g\n", time.Since(s.started).Seconds())
+	names := s.reg.Names()
+	fmt.Fprintf(w, "simserve_trackers %d\n", len(names))
+	for _, name := range names {
+		t, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		snap := t.Snapshot()
+		depth, capacity := t.QueueDepth()
+		rate := 0.0
+		if up := time.Since(t.Started()).Seconds(); up > 0 {
+			rate = float64(snap.Processed) / up
+		}
+		fmt.Fprintf(w, "simserve_ingested_total{tracker=%q} %d\n", name, snap.Processed)
+		fmt.Fprintf(w, "simserve_actions_per_sec{tracker=%q} %.1f\n", name, rate)
+		fmt.Fprintf(w, "simserve_value{tracker=%q} %g\n", name, snap.Value)
+		fmt.Fprintf(w, "simserve_checkpoints_live{tracker=%q} %d\n", name, snap.Checkpoints)
+		fmt.Fprintf(w, "simserve_elements_fed_total{tracker=%q} %d\n", name, snap.ElementsFed)
+		fmt.Fprintf(w, "simserve_queue_depth{tracker=%q} %d\n", name, depth)
+		fmt.Fprintf(w, "simserve_queue_capacity{tracker=%q} %d\n", name, capacity)
+	}
+}

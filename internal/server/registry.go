@@ -1,0 +1,296 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/sim"
+)
+
+// ErrClosed is returned by Submit and Query once a tracker (or its whole
+// registry) has started draining.
+var ErrClosed = errors.New("server: tracker is draining")
+
+// defaultQueueLen is the ingest queue capacity, in commands, when a Spec
+// does not set one.
+const defaultQueueLen = 256
+
+// command is one unit of work for a Tracked's single-writer loop: either an
+// ingest batch or a read closure. reply (when non-nil) receives the batch's
+// outcome; it must be buffered so the loop never blocks on a caller that
+// gave up.
+type command struct {
+	batch []sim.Action
+	query func(*sim.Tracker)
+	reply chan outcome
+}
+
+// outcome is what the loop reports back for one command: the ingestion
+// error and the tracker's processed count at the moment the command was
+// applied (so callers see their own batch's effect, not a later one's).
+type outcome struct {
+	err       error
+	processed int64
+}
+
+// Tracked is one served tracker: a sim.Tracker owned by a single-writer
+// goroutine, fed through a bounded command channel (backpressure: Submit
+// blocks while the queue is full), with an atomically published read
+// snapshot refreshed after every applied command.
+//
+// The split mirrors the serve/analyze separation argued for by Polynesia:
+// the write path (ingest loop) is strictly serial — sim.Tracker is not safe
+// for concurrent use — while reads either consume the immutable published
+// Snapshot (no coordination at all) or run as closures on the loop itself
+// (Query) when they need state that is not precomputed, such as per-user
+// influence sets.
+type Tracked struct {
+	name    string
+	spec    Spec
+	tr      *sim.Tracker
+	in      chan command
+	quit    chan struct{} // closed by Close: unblocks pending enqueues
+	done    chan struct{} // closed when the loop has drained and exited
+	started time.Time
+
+	mu         sync.Mutex // guards closed
+	closed     bool
+	submitters sync.WaitGroup // enqueues in flight past the closed check
+	closeOnce  sync.Once
+	closeErr   error
+
+	snap atomic.Pointer[sim.Snapshot]
+}
+
+// newTracked builds the tracker for spec and starts its ingest loop.
+func newTracked(name string, spec Spec) (*Tracked, error) {
+	tr, err := sim.New(spec.Config())
+	if err != nil {
+		return nil, err
+	}
+	queue := spec.Queue
+	if queue <= 0 {
+		queue = defaultQueueLen
+	}
+	t := &Tracked{
+		name:    name,
+		spec:    spec,
+		tr:      tr,
+		in:      make(chan command, queue),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		started: time.Now(),
+	}
+	t.publish() // queries before the first ingest see an empty snapshot
+	go t.loop()
+	return t, nil
+}
+
+// Name returns the tracker's registry name.
+func (t *Tracked) Name() string { return t.name }
+
+// Spec returns the spec the tracker was built from.
+func (t *Tracked) Spec() Spec { return t.spec }
+
+// Started returns when the tracker began serving.
+func (t *Tracked) Started() time.Time { return t.started }
+
+// QueueDepth returns the number of commands waiting for the ingest loop and
+// the queue's capacity.
+func (t *Tracked) QueueDepth() (depth, capacity int) { return len(t.in), cap(t.in) }
+
+// Snapshot returns the most recently published read snapshot. The snapshot
+// is immutable and shared; callers must not modify its slices.
+func (t *Tracked) Snapshot() *sim.Snapshot { return t.snap.Load() }
+
+// loop is the single writer: it owns t.tr, applies commands in arrival
+// order, and republishes the read snapshot after each one. It exits when
+// the command channel is closed (by Close) after draining everything still
+// queued — the graceful-drain guarantee.
+func (t *Tracked) loop() {
+	defer close(t.done)
+	for c := range t.in {
+		var err error
+		switch {
+		case c.batch != nil:
+			err = t.tr.ProcessAll(c.batch)
+			t.publish()
+		case c.query != nil:
+			c.query(t.tr)
+			// Queries flush actions buffered by sim batching, which can
+			// sharpen the answer; keep the published snapshot in step.
+			t.publish()
+		}
+		if c.reply != nil {
+			c.reply <- outcome{err: err, processed: t.snap.Load().Processed}
+		}
+	}
+}
+
+// publish refreshes the shared read snapshot. Called only from the goroutine
+// that owns t.tr (the loop, or newTracked before the loop starts).
+func (t *Tracked) publish() {
+	s := t.tr.Snapshot()
+	t.snap.Store(&s)
+}
+
+// enqueue hands c to the loop, blocking while the queue is full (this is
+// the ingest backpressure). It fails with ErrClosed once draining has
+// begun and with ctx.Err() if the caller's context expires first.
+func (t *Tracked) enqueue(ctx context.Context, c command) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	t.submitters.Add(1)
+	t.mu.Unlock()
+	defer t.submitters.Done()
+	select {
+	case t.in <- c:
+		return nil
+	case <-t.quit:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Submit ingests one batch of actions through the single-writer loop and
+// waits for the result, returning the tracker's lifetime accepted-action
+// count as of the moment this batch was applied (not a later snapshot's).
+// Actions are applied in submission order; an error (e.g. a non-monotonic
+// ID) aborts the batch at the offending action.
+func (t *Tracked) Submit(ctx context.Context, batch []sim.Action) (processed int64, err error) {
+	c := command{batch: batch, reply: make(chan outcome, 1)}
+	if err := t.enqueue(ctx, c); err != nil {
+		return 0, err
+	}
+	select {
+	case out := <-c.reply:
+		return out.processed, out.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// SubmitAsync enqueues a batch without waiting for it to be applied; the
+// returned error covers enqueueing only, and ingestion errors surface in
+// later snapshots' Processed counts rather than to the caller. The bounded
+// queue still applies backpressure: SubmitAsync blocks while it is full.
+// For embedded producers that want to pipeline ingest ahead of the loop;
+// the HTTP and replay paths use the synchronous Submit so errors reach the
+// producer.
+func (t *Tracked) SubmitAsync(ctx context.Context, batch []sim.Action) error {
+	return t.enqueue(ctx, command{batch: batch})
+}
+
+// Query runs fn on the tracker from the single-writer loop, after
+// everything submitted before it, and waits for completion. fn may call any
+// Tracker method but must copy out what it needs; it must not retain the
+// *sim.Tracker.
+func (t *Tracked) Query(ctx context.Context, fn func(*sim.Tracker)) error {
+	c := command{query: fn, reply: make(chan outcome, 1)}
+	if err := t.enqueue(ctx, c); err != nil {
+		return err
+	}
+	select {
+	case <-c.reply:
+		return nil
+	case <-ctx.Done():
+		// fn may still run later; the caller must discard its results.
+		return ctx.Err()
+	}
+}
+
+// Close drains and stops the tracker: new submissions fail with ErrClosed,
+// everything already queued is applied, and only then are the tracker's
+// worker goroutines released. Safe to call concurrently and more than
+// once: every caller returns only after the full shutdown sequence has
+// finished, and all see the same error.
+func (t *Tracked) Close() error {
+	t.closeOnce.Do(func() {
+		t.mu.Lock()
+		t.closed = true
+		t.mu.Unlock()
+		close(t.quit)       // unblock enqueues waiting on a full queue
+		t.submitters.Wait() // no enqueue past the closed check is still in flight
+		close(t.in)         // loop drains the queue, then exits
+		<-t.done
+		t.closeErr = t.tr.Close()
+	})
+	return t.closeErr
+}
+
+// Registry is the set of named trackers a server instance owns.
+type Registry struct {
+	mu       sync.RWMutex
+	trackers map[string]*Tracked
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{trackers: make(map[string]*Tracked)}
+}
+
+// Add builds the tracker described by spec, registers it under name and
+// starts its ingest loop.
+func (r *Registry) Add(name string, spec Spec) (*Tracked, error) {
+	if name == "" {
+		return nil, errors.New("server: tracker name must not be empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.trackers[name]; ok {
+		return nil, fmt.Errorf("server: tracker %q already exists", name)
+	}
+	t, err := newTracked(name, spec)
+	if err != nil {
+		return nil, fmt.Errorf("server: tracker %q: %w", name, err)
+	}
+	r.trackers[name] = t
+	return t, nil
+}
+
+// Get returns the named tracker.
+func (r *Registry) Get(name string) (*Tracked, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.trackers[name]
+	return t, ok
+}
+
+// Names returns the registered tracker names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.names()
+}
+
+// Close drains and stops every tracker, returning the first error.
+func (r *Registry) Close() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var first error
+	for _, n := range r.names() {
+		if err := r.trackers[n].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// names returns sorted names; callers hold r.mu.
+func (r *Registry) names() []string {
+	names := make([]string, 0, len(r.trackers))
+	for n := range r.trackers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,291 @@
+// Package server is the long-lived serving layer over the sim library: the
+// engine behind cmd/simserve. It turns the single-goroutine sim.Tracker
+// into a system that ingests a social stream and answers queries
+// concurrently, the "real-time" operating mode the paper targets.
+//
+// # Architecture
+//
+// A Registry owns named Tracked instances. Each Tracked wraps one
+// sim.Tracker behind a single-writer ingest goroutine fed by a bounded
+// command channel: POST bodies, replay batches and read closures all enter
+// that queue, so the tracker only ever sees one goroutine and ingestion
+// order is total. A full queue blocks producers — backpressure, not load
+// shedding. After every applied command the loop publishes an immutable
+// sim.Snapshot through an atomic pointer; the GET handlers for seeds,
+// value, window, checkpoints and stats read only that snapshot and
+// therefore never contend with ingestion. Queries that need non-precomputed
+// state (per-user influence sets) run as closures on the ingest loop itself
+// (Tracked.Query), serialized with the writes. Closing a Tracked first
+// rejects new work, then drains everything already queued, then releases
+// the tracker's worker goroutines — the graceful-drain path wired to
+// SIGTERM in cmd/simserve.
+//
+// # HTTP API
+//
+//	POST /v1/trackers/{name}/actions    NDJSON body -> IngestResponse
+//	GET  /v1/trackers                   ListResponse
+//	GET  /v1/trackers/{name}            sim.Snapshot (the full read snapshot)
+//	GET  /v1/trackers/{name}/seeds      SeedsResponse
+//	GET  /v1/trackers/{name}/value      ValueResponse
+//	GET  /v1/trackers/{name}/window     WindowResponse
+//	GET  /v1/trackers/{name}/checkpoints CheckpointsResponse
+//	GET  /v1/trackers/{name}/stats      StatsResponse
+//	GET  /v1/trackers/{name}/influence?user=U InfluenceResponse
+//	GET  /metrics                       text counters (see metrics.go)
+//	GET  /healthz                       "ok"
+//
+// Ingest bodies are NDJSON — one {"id":…,"user":…,"parent":…} object per
+// line, "parent" omitted or -1 for roots (internal/dataio). A bulk body is
+// applied as one batch through sim.Tracker.ProcessAll, riding the batched
+// ingestion path when the tracker's spec sets "batch" > 1.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/dataio"
+	"repro/sim"
+)
+
+// DefaultMaxBodyBytes caps an ingest request body (64 MiB, roughly 3M
+// NDJSON actions).
+const DefaultMaxBodyBytes = 64 << 20
+
+// Server is the HTTP front of a Registry. It implements http.Handler.
+type Server struct {
+	reg     *Registry
+	mux     *http.ServeMux
+	started time.Time
+
+	// MaxBodyBytes caps ingest request bodies; 0 means DefaultMaxBodyBytes.
+	// Set before serving.
+	MaxBodyBytes int64
+}
+
+// New returns a Server over reg.
+func New(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("POST /v1/trackers/{name}/actions", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/trackers", s.handleList)
+	s.mux.HandleFunc("GET /v1/trackers/{name}", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/trackers/{name}/seeds", s.handleSeeds)
+	s.mux.HandleFunc("GET /v1/trackers/{name}/value", s.handleValue)
+	s.mux.HandleFunc("GET /v1/trackers/{name}/window", s.handleWindow)
+	s.mux.HandleFunc("GET /v1/trackers/{name}/checkpoints", s.handleCheckpoints)
+	s.mux.HandleFunc("GET /v1/trackers/{name}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/trackers/{name}/influence", s.handleInfluence)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP dispatches to the v1 API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry returns the registry the server fronts.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close drains and stops every tracker (see Registry.Close). Call after the
+// HTTP listener has shut down so in-flight requests finish first.
+func (s *Server) Close() error { return s.reg.Close() }
+
+// writeJSON emits v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// writeError emits an ErrorResponse.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// tracked resolves the {name} path value, answering 404 when unknown.
+func (s *Server) tracked(w http.ResponseWriter, r *http.Request) (*Tracked, bool) {
+	name := r.PathValue("name")
+	t, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown tracker %q", name)
+		return nil, false
+	}
+	return t, true
+}
+
+// handleIngest parses an NDJSON body and applies it as one batch through
+// the tracker's single-writer loop. Responses: 200 IngestResponse, 400 for
+// malformed NDJSON, 409 for stream-order violations (non-monotonic IDs,
+// future parents), 503 while draining.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tracked(w, r)
+	if !ok {
+		return
+	}
+	maxBody := s.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	var batch []sim.Action
+	if err := dataio.ReadNDJSON(body, func(a sim.Action) bool {
+		batch = append(batch, a)
+		return true
+	}); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	processed := t.Snapshot().Processed
+	if len(batch) > 0 {
+		var err error
+		processed, err = t.Submit(r.Context(), batch)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrClosed),
+				errors.Is(err, context.Canceled),
+				errors.Is(err, context.DeadlineExceeded):
+				writeError(w, http.StatusServiceUnavailable, "%v", err)
+			default:
+				// Stream-order violation: the batch aborted at the
+				// offending action; everything before it is applied.
+				writeError(w, http.StatusConflict, "%v", err)
+			}
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Accepted:  len(batch),
+		Processed: processed,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	resp := ListResponse{Trackers: []TrackerInfo{}}
+	for _, name := range s.reg.Names() {
+		t, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		resp.Trackers = append(resp.Trackers, TrackerInfo{
+			Name:      name,
+			Spec:      t.Spec(),
+			Processed: t.Snapshot().Processed,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if t, ok := s.tracked(w, r); ok {
+		writeJSON(w, http.StatusOK, t.Snapshot())
+	}
+}
+
+func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tracked(w, r)
+	if !ok {
+		return
+	}
+	snap := t.Snapshot()
+	writeJSON(w, http.StatusOK, SeedsResponse{
+		Seeds:       snap.Seeds,
+		Value:       snap.Value,
+		WindowStart: snap.WindowStart,
+		Processed:   snap.Processed,
+	})
+}
+
+func (s *Server) handleValue(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tracked(w, r)
+	if !ok {
+		return
+	}
+	snap := t.Snapshot()
+	writeJSON(w, http.StatusOK, ValueResponse{Value: snap.Value, Processed: snap.Processed})
+}
+
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tracked(w, r)
+	if !ok {
+		return
+	}
+	snap := t.Snapshot()
+	writeJSON(w, http.StatusOK, WindowResponse{WindowStart: snap.WindowStart, Processed: snap.Processed})
+}
+
+func (s *Server) handleCheckpoints(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tracked(w, r)
+	if !ok {
+		return
+	}
+	snap := t.Snapshot()
+	writeJSON(w, http.StatusOK, CheckpointsResponse{
+		Checkpoints: snap.Checkpoints,
+		Starts:      snap.CheckpointStarts,
+		Values:      snap.CheckpointValues,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tracked(w, r)
+	if !ok {
+		return
+	}
+	snap := t.Snapshot()
+	depth, capacity := t.QueueDepth()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Stats:              snap.Stats(),
+		CheckpointsCreated: snap.CheckpointsCreated,
+		CheckpointsDeleted: snap.CheckpointsDeleted,
+		QueueDepth:         depth,
+		QueueCapacity:      capacity,
+	})
+}
+
+// handleInfluence serves per-user influence sets. Unlike the other reads
+// this needs the live stream index, so it runs as a closure on the ingest
+// loop, serialized after everything already queued.
+func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tracked(w, r)
+	if !ok {
+		return
+	}
+	userParam := r.URL.Query().Get("user")
+	u64, err := strconv.ParseUint(userParam, 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad or missing user parameter %q", userParam)
+		return
+	}
+	u := sim.UserID(u64)
+	var resp InfluenceResponse
+	qErr := t.Query(r.Context(), func(tr *sim.Tracker) {
+		resp = InfluenceResponse{
+			User:        u,
+			Influenced:  tr.InfluenceSet(u),
+			WindowStart: tr.WindowStart(),
+		}
+		if resp.Influenced == nil {
+			resp.Influenced = []sim.UserID{}
+		}
+		resp.Count = len(resp.Influenced)
+	})
+	if qErr != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", qErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,393 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataio"
+	"repro/internal/gen"
+	"repro/internal/server"
+	"repro/sim"
+)
+
+// testStream generates a small deterministic SYN-O-like stream.
+func testStream(n int) []sim.Action {
+	return gen.Stream(gen.SynO(300, n, 500, 42))
+}
+
+// ndjsonBody encodes actions as an NDJSON request body.
+func ndjsonBody(t *testing.T, actions []sim.Action) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := dataio.WriteNDJSON(&buf, actions); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func mustGetJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+// TestIngestQueryRoundTripIdentity is the end-to-end acceptance test: the
+// same NDJSON stream POSTed in chunks — with GET queries hammering the
+// server concurrently — must leave the served tracker bit-identical to a
+// serial sim.Tracker replay (seeds, value, window start, checkpoint
+// structure). Run under -race this also proves the read path never races
+// the single-writer ingest loop.
+func TestIngestQueryRoundTripIdentity(t *testing.T) {
+	specs := map[string]server.Spec{
+		"sic-sieve":    {K: 5, Window: 400},
+		"ic-threshold": {K: 5, Window: 400, Framework: sim.IC, Oracle: sim.ThresholdStream},
+		"sic-batched":  {K: 5, Window: 400, Batch: 64, Parallelism: 2},
+	}
+	actions := testStream(2000)
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			reg := server.NewRegistry()
+			if _, err := reg.Add("default", spec); err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(server.New(reg))
+			defer srv.Close()
+			defer reg.Close()
+
+			// Concurrent readers for the duration of the ingest.
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for _, path := range []string{
+				"/v1/trackers/default/seeds",
+				"/v1/trackers/default/checkpoints",
+				"/v1/trackers/default/influence?user=1",
+				"/metrics",
+			} {
+				wg.Add(1)
+				go func(url string) {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						resp, err := http.Get(url)
+						if err != nil {
+							t.Errorf("GET %s: %v", url, err)
+							return
+						}
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}(srv.URL + path)
+			}
+
+			// Ingest in NDJSON chunks of 100.
+			for i := 0; i < len(actions); i += 100 {
+				end := min(i+100, len(actions))
+				resp, err := http.Post(srv.URL+"/v1/trackers/default/actions",
+					"application/x-ndjson", ndjsonBody(t, actions[i:end]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var ir server.IngestResponse
+				if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("ingest chunk at %d: status %d", i, resp.StatusCode)
+				}
+				if ir.Accepted != end-i || ir.Processed != int64(end) {
+					t.Fatalf("chunk at %d: accepted=%d processed=%d, want %d/%d",
+						i, ir.Accepted, ir.Processed, end-i, end)
+				}
+			}
+			close(stop)
+			wg.Wait()
+
+			// Serial reference replay of the same actions, mirroring the
+			// served call sequence: one ProcessAll per POSTed chunk followed
+			// by a snapshot (the ingest loop publishes — and therefore
+			// flushes sim batching — after every applied batch).
+			ref, err := sim.New(spec.Config())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			var want sim.Snapshot
+			for i := 0; i < len(actions); i += 100 {
+				if err := ref.ProcessAll(actions[i:min(i+100, len(actions))]); err != nil {
+					t.Fatal(err)
+				}
+				want = ref.Snapshot()
+			}
+
+			var got sim.Snapshot
+			mustGetJSON(t, srv.URL+"/v1/trackers/default", &got)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("served snapshot differs from serial replay:\n got %+v\nwant %+v", got, want)
+			}
+
+			var seeds server.SeedsResponse
+			mustGetJSON(t, srv.URL+"/v1/trackers/default/seeds", &seeds)
+			if !reflect.DeepEqual(seeds.Seeds, want.Seeds) || seeds.Value != want.Value {
+				t.Errorf("seeds endpoint: %+v, want seeds=%v value=%v", seeds, want.Seeds, want.Value)
+			}
+
+			var cps server.CheckpointsResponse
+			mustGetJSON(t, srv.URL+"/v1/trackers/default/checkpoints", &cps)
+			if !reflect.DeepEqual(cps.Starts, want.CheckpointStarts) ||
+				!reflect.DeepEqual(cps.Values, want.CheckpointValues) {
+				t.Errorf("checkpoints endpoint: %+v, want starts=%v values=%v",
+					cps, want.CheckpointStarts, want.CheckpointValues)
+			}
+
+			// Influence endpoint vs the reference tracker, for a seed user.
+			if len(want.Seeds) > 0 {
+				u := want.Seeds[0]
+				var inf server.InfluenceResponse
+				mustGetJSON(t, fmt.Sprintf("%s/v1/trackers/default/influence?user=%d", srv.URL, u), &inf)
+				wantSet := ref.InfluenceSet(u)
+				if !reflect.DeepEqual(inf.Influenced, wantSet) || inf.Count != len(wantSet) {
+					t.Errorf("influence(%d) = %+v, want %v", u, inf, wantSet)
+				}
+			}
+		})
+	}
+}
+
+// TestShutdownDrainsQueue fills the bounded ingest queue asynchronously and
+// closes the registry: every queued batch must be applied before Close
+// returns, and the drained state must match a serial replay.
+func TestShutdownDrainsQueue(t *testing.T) {
+	reg := server.NewRegistry()
+	tk, err := reg.Add("default", server.Spec{K: 5, Window: 400, Queue: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions := testStream(3000)
+	ctx := context.Background()
+	for i := 0; i < len(actions); i += 50 {
+		end := min(i+50, len(actions))
+		if err := tk.SubmitAsync(ctx, actions[i:end]); err != nil {
+			t.Fatalf("enqueue at %d: %v", i, err)
+		}
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := tk.Snapshot()
+	if snap.Processed != int64(len(actions)) {
+		t.Fatalf("drained %d actions, want %d", snap.Processed, len(actions))
+	}
+	ref, err := sim.New(server.Spec{K: 5, Window: 400}.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.ProcessAll(actions); err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.Snapshot(); !reflect.DeepEqual(*snap, want) {
+		t.Errorf("drained snapshot differs from serial replay:\n got %+v\nwant %+v", *snap, want)
+	}
+
+	// After Close, all entry points fail with ErrClosed.
+	if _, err := tk.Submit(ctx, actions[:1]); err != server.ErrClosed {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+	if err := tk.Query(ctx, func(*sim.Tracker) {}); err != server.ErrClosed {
+		t.Errorf("Query after Close = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	if err := reg.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestHTTPErrorPaths exercises the API's failure contract.
+func TestHTTPErrorPaths(t *testing.T) {
+	reg := server.NewRegistry()
+	if _, err := reg.Add("default", server.Spec{K: 2, Window: 100}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.New(reg))
+	defer srv.Close()
+	defer reg.Close()
+
+	post := func(path, body string) *http.Response {
+		resp, err := http.Post(srv.URL+path, "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	get := func(path string) *http.Response {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := get("/v1/trackers/nope/seeds"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown tracker: status %d, want 404", resp.StatusCode)
+	}
+	if resp := post("/v1/trackers/default/actions", "{oops}\n"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed NDJSON: status %d, want 400", resp.StatusCode)
+	}
+	if resp := get("/v1/trackers/default/influence?user=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad user param: status %d, want 400", resp.StatusCode)
+	}
+	if resp := get("/v1/trackers/default/influence"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing user param: status %d, want 400", resp.StatusCode)
+	}
+	// Out-of-order IDs: first batch applies, replay of the same IDs conflicts.
+	if resp := post("/v1/trackers/default/actions", `{"id":5,"user":1}`+"\n"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first ingest: status %d", resp.StatusCode)
+	}
+	resp := post("/v1/trackers/default/actions", `{"id":5,"user":1}`+"\n")
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("non-monotonic ID: status %d, want 409", resp.StatusCode)
+	}
+	var er server.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
+		t.Errorf("conflict body not an ErrorResponse: %v %+v", err, er)
+	}
+	// Method mismatch on a registered pattern.
+	if resp := get("/v1/trackers/default/actions"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on ingest: status %d, want 405", resp.StatusCode)
+	}
+	// Empty body is a no-op ingest.
+	if resp := post("/v1/trackers/default/actions", ""); resp.StatusCode != http.StatusOK {
+		t.Errorf("empty ingest: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestMetricsAndList checks the operational endpoints.
+func TestMetricsAndList(t *testing.T) {
+	reg := server.NewRegistry()
+	if _, err := reg.Add("default", server.Spec{K: 2, Window: 100}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.New(reg))
+	defer srv.Close()
+	defer reg.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/trackers/default/actions", "application/x-ndjson",
+		ndjsonBody(t, testStream(100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"simserve_trackers 1",
+		`simserve_ingested_total{tracker="default"} 100`,
+		`simserve_checkpoints_live{tracker="default"}`,
+		`simserve_queue_capacity{tracker="default"} 256`,
+		"simserve_uptime_seconds",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+
+	var list server.ListResponse
+	mustGetJSON(t, srv.URL+"/v1/trackers", &list)
+	if len(list.Trackers) != 1 || list.Trackers[0].Name != "default" ||
+		list.Trackers[0].Processed != 100 || list.Trackers[0].Spec.K != 2 {
+		t.Errorf("list = %+v", list)
+	}
+
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if strings.TrimSpace(string(hbody)) != "ok" {
+		t.Errorf("healthz = %q", hbody)
+	}
+}
+
+// TestReadSpecs checks spec-file parsing, including failure on typos.
+func TestReadSpecs(t *testing.T) {
+	specs, err := server.ReadSpecs(strings.NewReader(
+		`{"trackers": {"a": {"k": 3, "window": 100, "framework": "ic", "oracle": "threshold"},
+		               "b": {"k": 1, "window": 50, "batch": 10, "queue": 7}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("want 2 specs, got %d", len(specs))
+	}
+	a := specs["a"]
+	if a.K != 3 || a.Window != 100 || a.Framework != sim.IC || a.Oracle != sim.ThresholdStream {
+		t.Errorf("spec a = %+v", a)
+	}
+	if b := specs["b"]; b.Batch != 10 || b.Queue != 7 {
+		t.Errorf("spec b = %+v", b)
+	}
+	if _, err := server.ReadSpecs(strings.NewReader(`{"trackers": {"a": {"k": 3, "windoww": 9}}}`)); err == nil {
+		t.Error("typo in spec field should fail")
+	}
+	if _, err := server.ReadSpecs(strings.NewReader(`{"trackers": {}}`)); err == nil {
+		t.Error("empty spec should fail")
+	}
+	if _, err := server.ReadSpecs(strings.NewReader(`{"trackers": {"a": {"k": 3, "window": 10, "oracle": "bogus"}}}`)); err == nil {
+		t.Error("unknown oracle name should fail")
+	}
+}
+
+// TestRegistryAdd covers registry-level validation.
+func TestRegistryAdd(t *testing.T) {
+	reg := server.NewRegistry()
+	if _, err := reg.Add("", server.Spec{K: 1, Window: 10}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := reg.Add("a", server.Spec{K: 0, Window: 10}); err == nil {
+		t.Error("invalid sim config should fail")
+	}
+	if _, err := reg.Add("a", server.Spec{K: 1, Window: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("a", server.Spec{K: 1, Window: 10}); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if got := reg.Names(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("Names = %v", got)
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/sim"
+)
+
+// Spec is the JSON/flag-configurable description of one served tracker: the
+// sim.Config knobs plus serving-only settings. The zero value of every
+// optional field means "sim's default".
+type Spec struct {
+	// K and Window are sim.Config.K and sim.Config.WindowSize; mandatory.
+	K      int `json:"k"`
+	Window int `json:"window"`
+	// Slide, Beta, Framework ("sic"/"ic"), Oracle ("sieve", "threshold",
+	// "blogwatch", "mkc"), TimeBased, Parallelism, Batch and ExpectedUsers
+	// map onto the sim.Config fields of the same meaning.
+	Slide         int           `json:"slide,omitempty"`
+	Beta          float64       `json:"beta,omitempty"`
+	Framework     sim.Framework `json:"framework,omitempty"`
+	Oracle        sim.Oracle    `json:"oracle,omitempty"`
+	TimeBased     bool          `json:"time_based,omitempty"`
+	Parallelism   int           `json:"parallelism,omitempty"`
+	Batch         int           `json:"batch,omitempty"`
+	ExpectedUsers int           `json:"expected_users,omitempty"`
+	// Queue is the ingest queue capacity in commands (batches), the bound
+	// behind the Submit backpressure. 0 means the server default (256).
+	Queue int `json:"queue,omitempty"`
+}
+
+// Config converts the spec to the sim.Config it describes.
+func (s Spec) Config() sim.Config {
+	return sim.Config{
+		K:             s.K,
+		WindowSize:    s.Window,
+		Slide:         s.Slide,
+		Beta:          s.Beta,
+		Framework:     s.Framework,
+		Oracle:        s.Oracle,
+		TimeBased:     s.TimeBased,
+		Parallelism:   s.Parallelism,
+		BatchSize:     s.Batch,
+		ExpectedUsers: s.ExpectedUsers,
+	}
+}
+
+// specFile is the on-disk shape of a multi-tracker spec:
+//
+//	{"trackers": {"default": {"k": 10, "window": 50000, "oracle": "sieve"}}}
+type specFile struct {
+	Trackers map[string]Spec `json:"trackers"`
+}
+
+// ReadSpecs parses a tracker spec document (see specFile) and returns the
+// named specs. Unknown fields are rejected so typos fail loudly at startup.
+func ReadSpecs(r io.Reader) (map[string]Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f specFile
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("server: parsing tracker specs: %w", err)
+	}
+	if len(f.Trackers) == 0 {
+		return nil, fmt.Errorf("server: spec declares no trackers")
+	}
+	return f.Trackers, nil
+}
+
+// Wire types of the HTTP API. Every response body is one of these structs
+// (or sim.Snapshot / sim.Stats, which marshal by name).
+
+// IngestResponse answers POST /v1/trackers/{name}/actions.
+type IngestResponse struct {
+	// Accepted is the number of actions in the request body.
+	Accepted int `json:"accepted"`
+	// Processed is the tracker's lifetime accepted-action count after this
+	// batch was applied.
+	Processed int64 `json:"processed"`
+}
+
+// SeedsResponse answers GET /v1/trackers/{name}/seeds.
+type SeedsResponse struct {
+	Seeds       []sim.UserID `json:"seeds"`
+	Value       float64      `json:"value"`
+	WindowStart sim.ActionID `json:"window_start"`
+	Processed   int64        `json:"processed"`
+}
+
+// ValueResponse answers GET /v1/trackers/{name}/value.
+type ValueResponse struct {
+	Value     float64 `json:"value"`
+	Processed int64   `json:"processed"`
+}
+
+// WindowResponse answers GET /v1/trackers/{name}/window.
+type WindowResponse struct {
+	WindowStart sim.ActionID `json:"window_start"`
+	Processed   int64        `json:"processed"`
+}
+
+// CheckpointsResponse answers GET /v1/trackers/{name}/checkpoints: the live
+// checkpoints' start IDs and oracle values in ascending start order.
+type CheckpointsResponse struct {
+	Checkpoints int            `json:"checkpoints"`
+	Starts      []sim.ActionID `json:"starts"`
+	Values      []float64      `json:"values"`
+}
+
+// InfluenceResponse answers GET /v1/trackers/{name}/influence?user=U: the
+// users U currently influences within the window (Definition 1).
+type InfluenceResponse struct {
+	User        sim.UserID   `json:"user"`
+	Influenced  []sim.UserID `json:"influenced"`
+	Count       int          `json:"count"`
+	WindowStart sim.ActionID `json:"window_start"`
+}
+
+// TrackerInfo is one entry of ListResponse.
+type TrackerInfo struct {
+	Name      string `json:"name"`
+	Spec      Spec   `json:"spec"`
+	Processed int64  `json:"processed"`
+}
+
+// ListResponse answers GET /v1/trackers.
+type ListResponse struct {
+	Trackers []TrackerInfo `json:"trackers"`
+}
+
+// StatsResponse answers GET /v1/trackers/{name}/stats: the sim.Stats view
+// plus the cumulative framework counters.
+type StatsResponse struct {
+	Stats              sim.Stats `json:"stats"`
+	CheckpointsCreated int64     `json:"checkpoints_created"`
+	CheckpointsDeleted int64     `json:"checkpoints_deleted"`
+	QueueDepth         int       `json:"queue_depth"`
+	QueueCapacity      int       `json:"queue_capacity"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -28,10 +28,18 @@
 // and window maintenance amortize across a batch, with results exact at
 // batch boundaries and every query flushing first. Trackers with
 // Parallelism > 1 own worker goroutines — release them with Close.
+//
+// A Tracker is single-writer: only one goroutine may call Process and the
+// query methods. For concurrent readers, the owner calls Snapshot — an
+// immutable, JSON-marshalable copy of the current answer that shares no
+// memory with the tracker — and publishes it; that is exactly how the
+// long-lived serving layer (internal/server, cmd/simserve) serves queries
+// while the stream keeps arriving.
 package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/oracle"
@@ -88,6 +96,37 @@ func (f Framework) String() string {
 	}
 }
 
+// ParseFramework parses a framework name, case-insensitively: "sic" or "ic".
+func ParseFramework(s string) (Framework, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sic":
+		return SIC, nil
+	case "ic":
+		return IC, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown framework %q (want sic or ic)", s)
+	}
+}
+
+// MarshalText encodes the framework as its name, making Framework fields
+// JSON-marshalable by name rather than by ordinal.
+func (f Framework) MarshalText() ([]byte, error) {
+	if f != SIC && f != IC {
+		return nil, fmt.Errorf("sim: unknown framework %d", int(f))
+	}
+	return []byte(f.String()), nil
+}
+
+// UnmarshalText decodes a framework name via ParseFramework.
+func (f *Framework) UnmarshalText(b []byte) error {
+	v, err := ParseFramework(string(b))
+	if err != nil {
+		return err
+	}
+	*f = v
+	return nil
+}
+
 // Oracle selects the streaming submodular algorithm run inside every
 // checkpoint (paper Table 2).
 type Oracle int
@@ -107,6 +146,44 @@ const (
 
 // String returns the oracle's published name.
 func (o Oracle) String() string { return o.kind().String() }
+
+// ParseOracle parses an oracle name, case-insensitively. Both the published
+// names ("SieveStreaming", "ThresholdStream", "BlogWatch", "MkC") and the
+// short forms used by the command-line tools ("sieve", "threshold",
+// "blogwatch", "mkc") are accepted.
+func ParseOracle(s string) (Oracle, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sieve", "sievestreaming":
+		return SieveStreaming, nil
+	case "threshold", "thresholdstream":
+		return ThresholdStream, nil
+	case "blogwatch":
+		return BlogWatch, nil
+	case "mkc":
+		return MkC, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown oracle %q (want sieve, threshold, blogwatch or mkc)", s)
+	}
+}
+
+// MarshalText encodes the oracle as its published name, making Oracle fields
+// JSON-marshalable by name rather than by ordinal.
+func (o Oracle) MarshalText() ([]byte, error) {
+	if o < SieveStreaming || o > MkC {
+		return nil, fmt.Errorf("sim: unknown oracle %d", int(o))
+	}
+	return []byte(o.String()), nil
+}
+
+// UnmarshalText decodes an oracle name via ParseOracle.
+func (o *Oracle) UnmarshalText(b []byte) error {
+	v, err := ParseOracle(string(b))
+	if err != nil {
+		return err
+	}
+	*o = v
+	return nil
+}
 
 func (o Oracle) kind() oracle.Kind {
 	switch o {
@@ -347,20 +424,22 @@ func (t *Tracker) WindowStart() ActionID { return t.flushed().WindowStart() }
 // any still buffered by batching.
 func (t *Tracker) Processed() int64 { return t.fw.Processed() + int64(len(t.batch)) }
 
-// Stats summarizes the tracker's internal state.
+// Stats summarizes the tracker's internal state. It marshals to JSON with
+// the frameworks and oracles spelled by name, so it can be served verbatim
+// by monitoring endpoints (see internal/server).
 type Stats struct {
 	// Framework / Oracle echo the configuration.
-	Framework Framework
-	Oracle    Oracle
+	Framework Framework `json:"framework"`
+	Oracle    Oracle    `json:"oracle"`
 	// Processed is the number of accepted actions.
-	Processed int64
+	Processed int64 `json:"processed"`
 	// Checkpoints is the number of live checkpoints.
-	Checkpoints int
+	Checkpoints int `json:"checkpoints"`
 	// AvgCheckpoints is the average number of live checkpoints per action,
 	// the quantity plotted in the paper's Figure 6.
-	AvgCheckpoints float64
+	AvgCheckpoints float64 `json:"avg_checkpoints"`
 	// ElementsFed counts oracle updates (the O(d·N) term of §4.2).
-	ElementsFed int64
+	ElementsFed int64 `json:"elements_fed"`
 }
 
 // Stats returns a snapshot of maintenance counters. Buffered actions are
@@ -378,6 +457,93 @@ func (t *Tracker) Stats() Stats {
 		Checkpoints:    t.fw.Checkpoints(),
 		AvgCheckpoints: fs.AvgCheckpoints,
 		ElementsFed:    fs.ElementsFed,
+	}
+}
+
+// CheckpointStarts returns the start IDs of the live checkpoints in
+// ascending order (under SIC the first entry may precede the window start:
+// the retained Λ[x0] of Algorithm 2). The slice is freshly allocated.
+// Buffered actions are flushed first.
+func (t *Tracker) CheckpointStarts() []ActionID { return t.flushed().CheckpointStarts() }
+
+// CheckpointValues returns the oracle values of the live checkpoints in
+// ascending start order, parallel to CheckpointStarts. The slice is freshly
+// allocated. Buffered actions are flushed first.
+func (t *Tracker) CheckpointValues() []float64 { return t.flushed().CheckpointValues() }
+
+// Snapshot is an immutable, JSON-marshalable view of a Tracker's current
+// answer and maintenance counters. A Snapshot shares no memory with the
+// Tracker that produced it, so it may be published to — and read by — any
+// number of goroutines while the owning goroutine keeps ingesting. This is
+// the read path of the serving layer (internal/server): the single-writer
+// ingest loop calls Tracker.Snapshot after each applied batch and query
+// handlers only ever touch the published Snapshot.
+type Snapshot struct {
+	// Framework / Oracle echo the configuration.
+	Framework Framework `json:"framework"`
+	Oracle    Oracle    `json:"oracle"`
+	// Processed is the number of accepted actions.
+	Processed int64 `json:"processed"`
+	// WindowStart is the ID of the first action of the current window.
+	WindowStart ActionID `json:"window_start"`
+	// Seeds is the current solution: at most K influential users.
+	Seeds []UserID `json:"seeds"`
+	// Value is the influence objective of Seeds as maintained by the
+	// answering checkpoint.
+	Value float64 `json:"value"`
+	// Checkpoints is the number of live checkpoints; CheckpointStarts and
+	// CheckpointValues describe them in ascending start order.
+	Checkpoints      int        `json:"checkpoints"`
+	CheckpointStarts []ActionID `json:"checkpoint_starts"`
+	CheckpointValues []float64  `json:"checkpoint_values"`
+	// AvgCheckpoints / ElementsFed / CheckpointsCreated /
+	// CheckpointsDeleted are the cumulative maintenance counters of Stats
+	// and the experiment harness.
+	AvgCheckpoints     float64 `json:"avg_checkpoints"`
+	ElementsFed        int64   `json:"elements_fed"`
+	CheckpointsCreated int64   `json:"checkpoints_created"`
+	CheckpointsDeleted int64   `json:"checkpoints_deleted"`
+}
+
+// Stats returns the snapshot's counters as a Stats value. Defined here, next
+// to both types, so a field added to Stats is populated in one place.
+func (s *Snapshot) Stats() Stats {
+	return Stats{
+		Framework:      s.Framework,
+		Oracle:         s.Oracle,
+		Processed:      s.Processed,
+		Checkpoints:    s.Checkpoints,
+		AvgCheckpoints: s.AvgCheckpoints,
+		ElementsFed:    s.ElementsFed,
+	}
+}
+
+// Snapshot flushes buffered actions and captures the tracker's current
+// answer and counters in one self-contained value. Like every query method
+// it must be called by the goroutine that owns the Tracker; unlike the
+// other queries, the returned value is safe to hand to other goroutines —
+// the seed slice and checkpoint slices are copies.
+func (t *Tracker) Snapshot() Snapshot {
+	fw := t.flushed()
+	fs := fw.Stats()
+	fwk := IC
+	if fw.Config().Sparse {
+		fwk = SIC
+	}
+	return Snapshot{
+		Framework:          fwk,
+		Oracle:             t.orc,
+		Processed:          fs.Processed,
+		WindowStart:        fw.WindowStart(),
+		Seeds:              append([]UserID{}, fw.Seeds()...),
+		Value:              fw.Value(),
+		Checkpoints:        fw.Checkpoints(),
+		CheckpointStarts:   fw.CheckpointStarts(),
+		CheckpointValues:   fw.CheckpointValues(),
+		AvgCheckpoints:     fs.AvgCheckpoints,
+		ElementsFed:        fs.ElementsFed,
+		CheckpointsCreated: fs.Created,
+		CheckpointsDeleted: fs.Deleted,
 	}
 }
 
