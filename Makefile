@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt fmt-check vet ci serve serve-smoke
+.PHONY: all build test race bench bench-json bench-check fmt fmt-check vet ci serve serve-smoke recover-smoke
 
 all: build
 
@@ -28,6 +28,18 @@ BENCH_JSON ?= BENCH_PR2.json
 bench-json:
 	$(GO) run ./cmd/simbench -exp tput,par -scale smoke -json $(BENCH_JSON)
 
+# CI bench regression guard: rerun the committed baseline's experiments and
+# fail on a large hot-path regression (>25% allocs/op — deterministic — or
+# >50% ns/op, loose because shared 1-CPU runners are noisy; tune with
+# simbench -check-allocs-tol / -check-ns-tol). A ns/op breach is retried
+# (simbench -check-retries, min-of-N) before failing, since 1-CPU scheduler
+# noise is one-sided. The fresh snapshot goes to a scratch file; the
+# committed baseline is never overwritten.
+BENCH_BASELINE ?= BENCH_PR2.json
+bench-check:
+	$(GO) run ./cmd/simbench -exp tput,par -scale smoke \
+		-json bench-fresh.json -check $(BENCH_BASELINE)
+
 # Run the serving layer (cmd/simserve) on :8384 with a default tracker.
 # Override flags with SERVE_FLAGS, e.g. make serve SERVE_FLAGS='-k 20 -window 100000'.
 SERVE_FLAGS ?= -k 10 -window 50000
@@ -38,6 +50,12 @@ serve:
 # generated actions over HTTP, assert non-empty seeds, SIGTERM drain.
 serve-smoke:
 	sh ./scripts/serve_smoke.sh
+
+# End-to-end crash-recovery smoke (also a CI step): boot simserve with
+# -data-dir, ingest, kill -9, restart twice (snapshot path then WAL-replay
+# path) and assert the answer matches an uninterrupted serial run.
+recover-smoke:
+	sh ./scripts/recover_smoke.sh
 
 fmt:
 	gofmt -w .
@@ -50,4 +68,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench serve-smoke
+ci: fmt-check vet build race bench serve-smoke recover-smoke bench-check

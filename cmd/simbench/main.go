@@ -23,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -46,6 +47,10 @@ func main() {
 		par     = flag.Int("parallelism", 0, "checkpoint-shard worker width for streaming runs (1 = serial, -1 = GOMAXPROCS)")
 		batch   = flag.Int("batch", 0, "ingestion batch size for streaming runs (1 = per-action)")
 		jsonOut = flag.String("json", "", "write a machine-readable benchmark snapshot (ns/op, allocs/op, B/op, actions/sec per experiment) to this file")
+		check   = flag.String("check", "", "compare this run against a baseline BENCH_<PR>.json and exit 1 on regression (the CI bench guard)")
+		allocT  = flag.Float64("check-allocs-tol", bench.DefaultAllocTolerance, "allowed fractional allocs/op growth over the -check baseline")
+		nsT     = flag.Float64("check-ns-tol", bench.DefaultNsTolerance, "allowed fractional ns/op growth over the -check baseline (loose: wall time is noisy on shared runners)")
+		retries = flag.Int("check-retries", 2, "on a -check regression, rerun the experiments up to this many times and keep each record's best (min ns/op) before the final verdict — filters one-sided scheduler noise on shared runners")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -109,11 +114,14 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	} else {
+		// Trim in place: ids is reused verbatim by the -check retry loop.
 		ids = strings.Split(*exps, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
 	}
 
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
 		start := time.Now()
 		if err := bench.RunMeasured(id, sc, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
@@ -137,5 +145,44 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("[benchmark snapshot written to %s]\n", *jsonOut)
+	}
+
+	if *check != "" {
+		base, err := bench.ReadSnapshotFile(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		fresh := bench.Snapshot{Records: bench.Metrics()}
+		regs, matched := bench.CompareSnapshots(base, fresh, *allocT, *nsT)
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "simbench: -check matched no records against %s (wrong -exp/-scale for this baseline?)\n", *check)
+			os.Exit(1)
+		}
+		// Wall-clock regressions on a shared 1-CPU runner are usually the
+		// scheduler, not the code: rerun and keep each record's best before
+		// concluding anything. Allocation regressions are deterministic and
+		// survive the retries, so they still fail.
+		for try := 1; len(regs) > 0 && try <= *retries; try++ {
+			fmt.Printf("[bench check: %d regression(s), retry %d/%d to filter runner noise]\n", len(regs), try, *retries)
+			bench.ResetMetrics()
+			for _, id := range ids {
+				if err := bench.RunMeasured(id, sc, io.Discard); err != nil {
+					fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			fresh.Records = bench.MergeMin(fresh.Records, bench.Metrics())
+			regs, _ = bench.CompareSnapshots(base, fresh, *allocT, *nsT)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "simbench: %d regression(s) against %s (allocs tol %.0f%%, ns tol %.0f%%):\n",
+				len(regs), *check, *allocT*100, *nsT*100)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("[bench check OK: %d records within tolerance of %s]\n", matched, *check)
 	}
 }

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Regression guard: compare a fresh benchmark run against a committed
+// BENCH_<PR>.json baseline and fail CI on large regressions. Allocations
+// per op are deterministic and checked tightly; wall-clock per op is noisy
+// on shared 1-CPU runners and gets a looser bound. "total" rows (whole
+// experiment wall time, including dataset generation) are skipped — only
+// the streaming hot-path rows are guarded.
+
+// Default regression tolerances used by `simbench -check` and
+// `make bench-check`.
+const (
+	// DefaultAllocTolerance fails a record whose allocs/op grew by more
+	// than this fraction over the baseline.
+	DefaultAllocTolerance = 0.25
+	// DefaultNsTolerance fails a record whose ns/op grew by more than this
+	// fraction — looser than allocations to tolerate shared-runner noise.
+	DefaultNsTolerance = 0.50
+)
+
+// Regression names one metric of one record that regressed past tolerance.
+type Regression struct {
+	Experiment string
+	Name       string
+	Metric     string // "allocs/op" or "ns/op"
+	Base, Got  float64
+	Ratio      float64 // Got / Base
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s/%s %s: %.4g -> %.4g (%.2fx)", r.Experiment, r.Name, r.Metric, r.Base, r.Got, r.Ratio)
+}
+
+// ReadSnapshotFile parses a committed BENCH_<PR>.json.
+func ReadSnapshotFile(path string) (Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}
+
+// ReadSnapshot parses a Snapshot JSON document.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("bench: parsing snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// CompareSnapshots returns the regressions of fresh against base: records
+// matched by (experiment, name), skipping "total" rows and records missing
+// from either side (a renamed or new benchmark is not a regression). matched
+// reports how many records were actually compared, so a caller can fail on
+// an accidentally empty comparison.
+func CompareSnapshots(base, fresh Snapshot, allocTol, nsTol float64) (regs []Regression, matched int) {
+	baseRecs := make(map[string]Record, len(base.Records))
+	for _, r := range base.Records {
+		if r.Name == "total" {
+			continue
+		}
+		baseRecs[r.Experiment+"\x00"+r.Name] = r
+	}
+	for _, r := range fresh.Records {
+		if r.Name == "total" {
+			continue
+		}
+		b, ok := baseRecs[r.Experiment+"\x00"+r.Name]
+		if !ok {
+			continue
+		}
+		matched++
+		if reg, bad := exceeds(b, r, "allocs/op", b.AllocsPerOp, r.AllocsPerOp, allocTol); bad {
+			regs = append(regs, reg)
+		}
+		if reg, bad := exceeds(b, r, "ns/op", b.NsPerOp, r.NsPerOp, nsTol); bad {
+			regs = append(regs, reg)
+		}
+	}
+	return regs, matched
+}
+
+// MergeMin folds a rerun's records into an earlier snapshot, keeping the
+// per-(experiment, name) minimum of each metric. Wall-clock per op on a
+// shared 1-CPU runner is one-sided noise — the scheduler can only make a
+// run slower, never faster — so the minimum across repeats is the best
+// estimate of the true cost. Allocations are deterministic, so their min is
+// a no-op. Records present on only one side pass through unchanged.
+func MergeMin(base, rerun []Record) []Record {
+	idx := make(map[string]int, len(base))
+	out := append([]Record(nil), base...)
+	for i, r := range out {
+		idx[r.Experiment+"\x00"+r.Name] = i
+	}
+	for _, r := range rerun {
+		i, ok := idx[r.Experiment+"\x00"+r.Name]
+		if !ok {
+			idx[r.Experiment+"\x00"+r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		m := &out[i]
+		m.NsPerOp = min(m.NsPerOp, r.NsPerOp)
+		m.AllocsPerOp = min(m.AllocsPerOp, r.AllocsPerOp)
+		m.BytesPerOp = min(m.BytesPerOp, r.BytesPerOp)
+		m.ActionsPerSec = max(m.ActionsPerSec, r.ActionsPerSec)
+	}
+	return out
+}
+
+// exceeds reports whether got regressed past base by more than tol.
+func exceeds(b, r Record, metric string, base, got, tol float64) (Regression, bool) {
+	if base <= 0 || got <= base*(1+tol) {
+		return Regression{}, false
+	}
+	return Regression{
+		Experiment: r.Experiment, Name: r.Name, Metric: metric,
+		Base: base, Got: got, Ratio: got / base,
+	}, true
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/oracle"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// corePayloadVersion versions the Framework payload independently of the
+// SIM2 container that carries it.
+const corePayloadVersion = 1
+
+// Save serializes the framework's complete mutable state: the shared stream
+// index, the live checkpoint chain (each checkpoint's start plus its
+// oracle's full state through oracle.Persistent) and the maintenance
+// counters. Together with an identical Config this is everything needed to
+// resume processing with bit-identical results — the IC/SIC checkpoint
+// chain snapshot of the durable-tracker contract.
+//
+// Save fails if the configured oracle does not implement oracle.Persistent.
+// Configuration (K, N, L, Beta, the oracle factory, Pool) is deliberately
+// not serialized: Restore targets a Framework freshly built from the same
+// Config, and the caller (sim.Tracker.SaveTo) records and validates the
+// config scalars at its own layer.
+func (f *Framework) Save(w io.Writer) error {
+	ww := wire.NewWriter(w)
+	ww.Uvarint(corePayloadVersion)
+
+	// Stream payload, length-prefixed so Restore can hand stream.Restore an
+	// exactly delimited reader (layer decoders must not over-read shared
+	// input).
+	var sb bytes.Buffer
+	if err := f.st.Save(&sb); err != nil {
+		return fmt.Errorf("core: saving stream: %w", err)
+	}
+	ww.Bytes(sb.Bytes())
+
+	ww.Varint(f.processed)
+	ww.Varint(int64(f.lastCpStart))
+	ww.Varint(f.cpCreated)
+	ww.Varint(f.cpDeleted)
+	ww.Varint(f.cpSamples)
+	ww.Varint(f.elemFed)
+
+	ww.Uvarint(uint64(len(f.cps)))
+	var ob bytes.Buffer
+	for _, cp := range f.cps {
+		p, ok := cp.oracle.(oracle.Persistent)
+		if !ok {
+			return fmt.Errorf("core: oracle %T does not implement oracle.Persistent", cp.oracle)
+		}
+		ob.Reset()
+		ow := wire.NewWriter(&ob)
+		if err := p.SaveState(ow); err != nil {
+			return fmt.Errorf("core: saving checkpoint at %d: %w", cp.start, err)
+		}
+		ww.Varint(int64(cp.start))
+		ww.Bytes(ob.Bytes())
+	}
+	return ww.Err()
+}
+
+// Restore replaces the receiver's state with one saved by Save. The
+// receiver must be freshly constructed by New with a Config equivalent to
+// the saving framework's (same K, N, L, Beta, Sparse, ByTime and an Oracle
+// factory producing the same oracle kind with the same weights); Pool,
+// UsersHint and the factory's parallelism are free to differ — they change
+// execution, never results.
+func (f *Framework) Restore(r io.Reader) error {
+	rr := wire.NewReader(r)
+	if v := rr.Uvarint(); rr.Err() == nil && v != corePayloadVersion {
+		return fmt.Errorf("core: unsupported payload version %d", v)
+	}
+
+	streamPayload := rr.Bytes(wire.MaxLen)
+	if err := rr.Err(); err != nil {
+		return fmt.Errorf("core: restoring: %w", err)
+	}
+	st, err := stream.Restore(bytes.NewReader(streamPayload))
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+
+	processed := rr.Varint()
+	lastCpStart := stream.ActionID(rr.Varint())
+	cpCreated := rr.Varint()
+	cpDeleted := rr.Varint()
+	cpSamples := rr.Varint()
+	elemFed := rr.Varint()
+
+	n := rr.Len(wire.MaxLen)
+	cps := make([]*checkpoint, 0, min(n, 1<<16))
+	for i := 0; i < n && rr.Err() == nil; i++ {
+		start := stream.ActionID(rr.Varint())
+		payload := rr.Bytes(wire.MaxLen)
+		if rr.Err() != nil {
+			break
+		}
+		orc := f.cfg.Oracle(f.cfg.K)
+		p, ok := orc.(oracle.Persistent)
+		if !ok {
+			return fmt.Errorf("core: oracle %T does not implement oracle.Persistent", orc)
+		}
+		if err := p.RestoreState(wire.NewReader(bytes.NewReader(payload))); err != nil {
+			return fmt.Errorf("core: restoring checkpoint at %d: %w", start, err)
+		}
+		cps = append(cps, newCheckpoint(start, orc))
+	}
+	if err := rr.Err(); err != nil {
+		return fmt.Errorf("core: restoring: %w", err)
+	}
+
+	// Commit only after the whole payload decoded: a failed Restore leaves
+	// the receiver's (empty) state untouched rather than half-replaced.
+	f.st = st
+	f.cps = cps
+	f.processed = processed
+	f.lastCpStart = lastCpStart
+	f.cpCreated = cpCreated
+	f.cpDeleted = cpDeleted
+	f.cpSamples = cpSamples
+	f.elemFed = elemFed
+	return nil
+}

@@ -166,15 +166,28 @@ func ReadBinary(r io.Reader, visit func(stream.Action) bool) error {
 }
 
 // ReadAuto sniffs the format (binary magic, '{' for NDJSON, else TSV) and
-// streams the actions.
+// streams the actions. The NDJSON sniff skips leading whitespace — blank or
+// CRLF-terminated lines before the first object are legal inter-value
+// whitespace, so a body that starts with them is still NDJSON. Empty input
+// is zero actions in any format and succeeds.
 func ReadAuto(r io.Reader, visit func(stream.Action) bool) error {
 	br := bufio.NewReaderSize(r, 1<<20)
 	head, err := br.Peek(4)
 	if err == nil && [4]byte(head) == binaryMagic {
 		return ReadBinary(br, visit)
 	}
-	if len(head) > 0 && head[0] == '{' {
-		return ReadNDJSON(br, visit)
+	// Peek far enough to see past leading whitespace. 512 bytes of pure
+	// whitespace before any payload byte means the input is effectively
+	// blank whatever the format; TSV handles that as zero actions.
+	head, _ = br.Peek(512)
+	for _, b := range head {
+		if b == ' ' || b == '\t' || b == '\r' || b == '\n' {
+			continue
+		}
+		if b == '{' {
+			return ReadNDJSON(br, visit)
+		}
+		break
 	}
 	return ReadTSV(br, visit)
 }

@@ -168,3 +168,84 @@ func TestRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReadAutoEdgeCases pins the sniffing contract of ReadAuto on awkward
+// inputs: empty bodies, CRLF line endings, leading whitespace before the
+// first NDJSON object, and truncation mid-record.
+func TestReadAutoEdgeCases(t *testing.T) {
+	t.Run("empty input", func(t *testing.T) {
+		got, err := ReadAll(strings.NewReader(""))
+		if err != nil {
+			t.Fatalf("empty input: %v", err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("empty input yielded %d actions", len(got))
+		}
+	})
+
+	t.Run("whitespace-only input", func(t *testing.T) {
+		got, err := ReadAll(strings.NewReader(" \t\r\n\n  \n"))
+		if err != nil {
+			t.Fatalf("whitespace-only input: %v", err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("whitespace-only input yielded %d actions", len(got))
+		}
+	})
+
+	t.Run("CRLF NDJSON", func(t *testing.T) {
+		in := "{\"id\":1,\"user\":7}\r\n{\"id\":2,\"user\":8,\"parent\":1}\r\n"
+		got, err := ReadAll(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("CRLF NDJSON: %v", err)
+		}
+		want := []stream.Action{
+			{ID: 1, User: 7, Parent: stream.NoParent},
+			{ID: 2, User: 8, Parent: 1},
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("CRLF NDJSON = %v, want %v", got, want)
+		}
+	})
+
+	t.Run("leading whitespace before NDJSON object", func(t *testing.T) {
+		in := "\r\n\n  \t{\"id\":3,\"user\":1}\n"
+		got, err := ReadAll(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("leading whitespace NDJSON: %v", err)
+		}
+		want := []stream.Action{{ID: 3, User: 1, Parent: stream.NoParent}}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("leading whitespace NDJSON = %v, want %v", got, want)
+		}
+	})
+
+	t.Run("truncated final NDJSON line errors", func(t *testing.T) {
+		in := "{\"id\":1,\"user\":7}\n{\"id\":2,\"us"
+		_, err := ReadAll(strings.NewReader(in))
+		if err == nil {
+			t.Fatal("truncated final NDJSON line accepted")
+		}
+		if !strings.Contains(err.Error(), "record 2") {
+			t.Fatalf("error does not name the truncated record: %v", err)
+		}
+	})
+
+	t.Run("TSV final line without newline", func(t *testing.T) {
+		in := "1\t7\t-1\n2\t8\t1" // no trailing newline: still a complete record
+		got, err := ReadAll(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("unterminated TSV final line: %v", err)
+		}
+		if len(got) != 2 || got[1].ID != 2 {
+			t.Fatalf("unterminated TSV final line = %v", got)
+		}
+	})
+
+	t.Run("truncated TSV final line errors", func(t *testing.T) {
+		in := "1\t7\t-1\n2\t8" // second record lost its parent field
+		if _, err := ReadAll(strings.NewReader(in)); err == nil {
+			t.Fatal("field-truncated TSV final line accepted")
+		}
+	})
+}

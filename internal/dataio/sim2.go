@@ -1,0 +1,230 @@
+package dataio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// SIM2 is the repository's snapshot container format: the durable
+// serialization of a sim.Tracker (and everything below it) written by
+// Tracker.SaveTo and read by sim.Load.
+//
+// Layout:
+//
+//	"SIM2" magic · uvarint container version
+//	section*     · 4-byte tag · uvarint payload length · payload · CRC-32 (IEEE, LE)
+//	end section  · tag "SEND" with empty payload
+//
+// Every section is length-prefixed, so a reader that does not know a tag
+// skips it — the forward-compatibility rule that lets newer writers add
+// sections without breaking older readers. Every payload carries its own
+// CRC so corruption is detected per section, and the explicit "SEND" end
+// marker distinguishes a complete snapshot from one truncated by a crash
+// mid-write (a reader hitting EOF before "SEND" reports ErrSnapshotTruncated
+// instead of silently loading a prefix).
+
+// snapshotMagic starts every SIM2 snapshot.
+var snapshotMagic = [4]byte{'S', 'I', 'M', '2'}
+
+// SnapshotVersion is the container version written by NewSnapshotWriter.
+// Readers reject higher versions: the container layout itself changed.
+// (Payload evolution does not bump this — unknown sections are skipped and
+// each section payload carries its own layer version.)
+const SnapshotVersion = 1
+
+// snapshotEndTag terminates a snapshot.
+const snapshotEndTag = "SEND"
+
+// maxSectionBytes bounds a single section payload (1 GiB): a corrupt or
+// hostile length prefix fails fast instead of attempting the allocation.
+const maxSectionBytes = 1 << 30
+
+// Snapshot container errors.
+var (
+	// ErrNotSnapshot is returned when the input does not start with the
+	// SIM2 magic.
+	ErrNotSnapshot = errors.New("dataio: not a SIM2 snapshot")
+	// ErrSnapshotTruncated is returned when the input ends before the
+	// snapshot's end marker — a partially written snapshot file.
+	ErrSnapshotTruncated = errors.New("dataio: truncated SIM2 snapshot")
+	// ErrSnapshotCorrupt is wrapped by section-level integrity failures
+	// (CRC mismatch, malformed framing).
+	ErrSnapshotCorrupt = errors.New("dataio: corrupt SIM2 snapshot")
+)
+
+var snapshotCRC = crc32.IEEETable
+
+// SnapshotWriter emits a SIM2 snapshot section by section. Sections appear
+// in write order; Close writes the end marker. Methods after an error are
+// no-ops returning the first error.
+type SnapshotWriter struct {
+	w      *bufio.Writer
+	err    error
+	closed bool
+}
+
+// NewSnapshotWriter writes the SIM2 header and returns a writer for the
+// sections that follow.
+func NewSnapshotWriter(w io.Writer) (*SnapshotWriter, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	sw := &SnapshotWriter{w: bw}
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		sw.err = err
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], SnapshotVersion)
+	if _, err := bw.Write(buf[:n]); err != nil {
+		sw.err = err
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Section writes one tagged, CRC-protected section. tag must be exactly 4
+// bytes and must not be the reserved end tag.
+func (sw *SnapshotWriter) Section(tag string, payload []byte) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		sw.err = errors.New("dataio: Section after Close")
+		return sw.err
+	}
+	if len(tag) != 4 {
+		sw.err = fmt.Errorf("dataio: section tag %q must be 4 bytes", tag)
+		return sw.err
+	}
+	if tag == snapshotEndTag {
+		sw.err = fmt.Errorf("dataio: section tag %q is reserved", tag)
+		return sw.err
+	}
+	return sw.writeSection(tag, payload)
+}
+
+func (sw *SnapshotWriter) writeSection(tag string, payload []byte) error {
+	var buf [binary.MaxVarintLen64]byte
+	if _, err := sw.w.WriteString(tag); err != nil {
+		sw.err = err
+		return err
+	}
+	n := binary.PutUvarint(buf[:], uint64(len(payload)))
+	if _, err := sw.w.Write(buf[:n]); err != nil {
+		sw.err = err
+		return err
+	}
+	if _, err := sw.w.Write(payload); err != nil {
+		sw.err = err
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, snapshotCRC))
+	if _, err := sw.w.Write(crc[:]); err != nil {
+		sw.err = err
+		return err
+	}
+	return nil
+}
+
+// Close writes the end marker and flushes. The snapshot is complete — and
+// loadable — only after Close returns nil.
+func (sw *SnapshotWriter) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		return nil
+	}
+	sw.closed = true
+	if err := sw.writeSection(snapshotEndTag, nil); err != nil {
+		return err
+	}
+	if err := sw.w.Flush(); err != nil {
+		sw.err = err
+		return err
+	}
+	return nil
+}
+
+// SnapshotReader iterates the sections of a SIM2 snapshot.
+type SnapshotReader struct {
+	r    *bufio.Reader
+	err  error
+	done bool
+}
+
+// NewSnapshotReader validates the SIM2 header and returns a section
+// iterator. It fails with ErrNotSnapshot on a wrong magic and a descriptive
+// error on a container version newer than this reader understands.
+func NewSnapshotReader(r io.Reader) (*SnapshotReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, ErrNotSnapshot
+		}
+		return nil, fmt.Errorf("dataio: reading snapshot header: %w", err)
+	}
+	if magic != snapshotMagic {
+		return nil, ErrNotSnapshot
+	}
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, ErrSnapshotTruncated
+	}
+	if v > SnapshotVersion {
+		return nil, fmt.Errorf("dataio: SIM2 snapshot version %d is newer than supported version %d", v, SnapshotVersion)
+	}
+	return &SnapshotReader{r: br}, nil
+}
+
+// Next returns the next section's tag and payload (CRC-verified). It
+// returns io.EOF after the end marker; an input that ends without one fails
+// with ErrSnapshotTruncated. Unknown tags are the caller's to skip — simply
+// call Next again.
+func (sr *SnapshotReader) Next() (tag string, payload []byte, err error) {
+	if sr.err != nil {
+		return "", nil, sr.err
+	}
+	if sr.done {
+		return "", nil, io.EOF
+	}
+	var tagBuf [4]byte
+	if _, err := io.ReadFull(sr.r, tagBuf[:]); err != nil {
+		sr.err = ErrSnapshotTruncated
+		return "", nil, sr.err
+	}
+	n, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		sr.err = ErrSnapshotTruncated
+		return "", nil, sr.err
+	}
+	if n > maxSectionBytes {
+		sr.err = fmt.Errorf("%w: section %q claims %d bytes", ErrSnapshotCorrupt, tagBuf[:], n)
+		return "", nil, sr.err
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(sr.r, payload); err != nil {
+		sr.err = ErrSnapshotTruncated
+		return "", nil, sr.err
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(sr.r, crcBuf[:]); err != nil {
+		sr.err = ErrSnapshotTruncated
+		return "", nil, sr.err
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if got := crc32.Checksum(payload, snapshotCRC); got != want {
+		sr.err = fmt.Errorf("%w: section %q CRC mismatch (got %08x, want %08x)", ErrSnapshotCorrupt, tagBuf[:], got, want)
+		return "", nil, sr.err
+	}
+	if string(tagBuf[:]) == snapshotEndTag {
+		sr.done = true
+		return "", nil, io.EOF
+	}
+	return string(tagBuf[:]), payload, nil
+}

@@ -1,0 +1,165 @@
+package dataio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// buildSnapshot writes a two-section snapshot and returns its bytes.
+func buildSnapshot(t *testing.T, sections map[string][]byte, order []string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw, err := NewSnapshotWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewSnapshotWriter: %v", err)
+	}
+	for _, tag := range order {
+		if err := sw.Section(tag, sections[tag]); err != nil {
+			t.Fatalf("Section %q: %v", tag, err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func readAllSections(t *testing.T, b []byte) map[string][]byte {
+	t.Helper()
+	sr, err := NewSnapshotReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("NewSnapshotReader: %v", err)
+	}
+	out := map[string][]byte{}
+	for {
+		tag, payload, err := sr.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out[tag] = payload
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	in := map[string][]byte{
+		"AAAA": []byte("alpha payload"),
+		"BBBB": {},
+		"CCCC": bytes.Repeat([]byte{0xfe}, 1<<15),
+	}
+	b := buildSnapshot(t, in, []string{"AAAA", "BBBB", "CCCC"})
+	out := readAllSections(t, b)
+	if len(out) != len(in) {
+		t.Fatalf("read %d sections, want %d", len(out), len(in))
+	}
+	for tag, want := range in {
+		if !bytes.Equal(out[tag], want) {
+			t.Errorf("section %q payload mismatch (%d vs %d bytes)", tag, len(out[tag]), len(want))
+		}
+	}
+}
+
+// TestSnapshotUnknownSectionSkip is the forward-compatibility contract: a
+// reader that does not recognize a tag reads past it and still sees the
+// sections it does know.
+func TestSnapshotUnknownSectionSkip(t *testing.T) {
+	in := map[string][]byte{
+		"KNWN": []byte("known"),
+		"FUTR": []byte("from a future writer"),
+	}
+	b := buildSnapshot(t, in, []string{"FUTR", "KNWN"})
+	sr, err := NewSnapshotReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("NewSnapshotReader: %v", err)
+	}
+	var known []byte
+	for {
+		tag, payload, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if tag == "KNWN" {
+			known = payload
+		} // FUTR: skipped by simply not handling it
+	}
+	if string(known) != "known" {
+		t.Fatalf("known section not recovered after skipping unknown one: %q", known)
+	}
+}
+
+func TestSnapshotBadMagic(t *testing.T) {
+	if _, err := NewSnapshotReader(bytes.NewReader([]byte("NOPE....."))); !errors.Is(err, ErrNotSnapshot) {
+		t.Fatalf("bad magic error = %v, want ErrNotSnapshot", err)
+	}
+	if _, err := NewSnapshotReader(bytes.NewReader(nil)); !errors.Is(err, ErrNotSnapshot) {
+		t.Fatalf("empty input error = %v, want ErrNotSnapshot", err)
+	}
+}
+
+func TestSnapshotFutureVersionRejected(t *testing.T) {
+	b := buildSnapshot(t, map[string][]byte{"AAAA": []byte("x")}, []string{"AAAA"})
+	b[4] = 0x7f // bump the uvarint container version far past SnapshotVersion
+	if _, err := NewSnapshotReader(bytes.NewReader(b)); err == nil {
+		t.Fatal("future container version accepted")
+	}
+}
+
+func TestSnapshotTruncationDetected(t *testing.T) {
+	b := buildSnapshot(t, map[string][]byte{"AAAA": []byte("payload here")}, []string{"AAAA"})
+	for _, cut := range []int{1, 5, len(b) - 1, len(b) - 9} {
+		trunc := b[:len(b)-cut]
+		sr, err := NewSnapshotReader(bytes.NewReader(trunc))
+		if err != nil {
+			continue // truncated inside the header: also acceptable
+		}
+		for {
+			_, _, err = sr.Next()
+			if err != nil {
+				break
+			}
+		}
+		if err == io.EOF {
+			t.Fatalf("truncation of %d bytes went undetected", cut)
+		}
+		if !errors.Is(err, ErrSnapshotTruncated) && !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("truncation of %d bytes: error = %v, want ErrSnapshotTruncated/Corrupt", cut, err)
+		}
+	}
+}
+
+func TestSnapshotCRCMismatch(t *testing.T) {
+	b := buildSnapshot(t, map[string][]byte{"AAAA": []byte("payload here")}, []string{"AAAA"})
+	// Flip a payload byte: header is 4 magic + 1 version; section header is
+	// 4 tag + 1 length, so offset 10 sits inside the payload.
+	b[10] ^= 0xff
+	sr, err := NewSnapshotReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("NewSnapshotReader: %v", err)
+	}
+	_, _, err = sr.Next()
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("flipped payload byte: error = %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+func TestSnapshotWriterTagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewSnapshotWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewSnapshotWriter: %v", err)
+	}
+	if err := sw.Section("TOOLONG", nil); err == nil {
+		t.Fatal("7-byte tag accepted")
+	}
+	sw2, _ := NewSnapshotWriter(&buf)
+	if err := sw2.Section("SEND", nil); err == nil {
+		t.Fatal("reserved end tag accepted")
+	}
+}

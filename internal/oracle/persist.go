@@ -1,0 +1,219 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// Persistent is implemented by oracles whose complete mutable state can be
+// serialized and later restored onto a freshly constructed oracle of the
+// same configuration (same k, beta and weights — configuration travels
+// through the Factory, not the payload). It is the per-checkpoint leg of
+// the durable-tracker contract: core.Framework saves its checkpoint chain
+// by saving each checkpoint's oracle, and a restored oracle must make
+// bit-identical admission decisions on every subsequent element.
+//
+// All four Table 2 oracles implement Persistent: the sieve-style grids
+// serialize their candidate instances (OPT guesses, seed lists, coverage
+// sets, gain-bound caches), the swap oracles their seed snapshots, and
+// Exact its per-user set memory.
+type Persistent interface {
+	Oracle
+	// SaveState writes the oracle's state. The write is deterministic:
+	// saving the same logical state twice yields identical bytes.
+	SaveState(w *wire.Writer) error
+	// RestoreState replaces the oracle's state with one saved by SaveState
+	// on an oracle of the same kind and configuration. The receiver must be
+	// freshly constructed.
+	RestoreState(r *wire.Reader) error
+}
+
+// Per-oracle payload versions, bumped independently of the SIM2 container.
+const (
+	gridPayloadVersion  = 1
+	swapPayloadVersion  = 1
+	exactPayloadVersion = 1
+)
+
+// maxLen bounds decoded collection sizes; corrupt claims fail fast. The
+// SIM2 container CRC makes this a second line of defense only.
+const maxLen = wire.MaxLen
+
+// SaveState implements Persistent for the sieve-style oracles. Per
+// instance it serializes the OPT guess (as float bits — thresholds must
+// restore exactly), the admitted seed list in admission order (order is
+// semantic: it is the tie-break of the best-instance answer), the coverage
+// accumulator and the CELF-style gain-bound cache.
+func (g *grid) SaveState(w *wire.Writer) error {
+	w.Uvarint(gridPayloadVersion)
+	w.Varint(g.elements)
+	w.F64(g.m)
+	w.Varint(int64(g.jLo))
+	w.Uvarint(uint64(len(g.insts)))
+	for _, inst := range g.insts {
+		w.F64(inst.opt)
+		w.Uvarint(uint64(len(inst.seeds)))
+		for _, s := range inst.seeds {
+			w.Uvarint(uint64(s))
+		}
+		inst.cov.Save(w)
+		saveGainUB(w, inst)
+	}
+	w.F64(g.bestVal)
+	w.Uvarint(uint64(len(g.bestSeeds)))
+	for _, s := range g.bestSeeds {
+		w.Uvarint(uint64(s))
+	}
+	w.Bool(g.dirty)
+	return w.Err()
+}
+
+// saveGainUB emits an instance's gain-bound cache sorted by key for
+// deterministic output; cache content (not layout) is what admission
+// decisions read.
+func saveGainUB(w *wire.Writer, inst *sieveInst) {
+	type kv struct {
+		k uint32
+		v float64
+	}
+	entries := make([]kv, 0, inst.gainUB.Len())
+	inst.gainUB.ForEach(func(k uint32, v float64) bool {
+		entries = append(entries, kv{k, v})
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].k < entries[j].k })
+	w.Uvarint(uint64(len(entries)))
+	for _, e := range entries {
+		w.Uvarint(uint64(e.k))
+		w.F64(e.v)
+	}
+}
+
+// RestoreState implements Persistent for the sieve-style oracles.
+func (g *grid) RestoreState(r *wire.Reader) error {
+	if v := r.Uvarint(); r.Err() == nil && v != gridPayloadVersion {
+		return fmt.Errorf("oracle: unsupported sieve payload version %d", v)
+	}
+	g.elements = r.Varint()
+	g.m = r.F64()
+	g.jLo = int(r.Varint())
+	n := r.Len(maxLen)
+	g.insts = make([]*sieveInst, 0, min(n, 1<<16))
+	for i := 0; i < n && r.Err() == nil; i++ {
+		inst := g.pool.get(r.F64())
+		ns := r.Len(maxLen)
+		for j := 0; j < ns && r.Err() == nil; j++ {
+			u := stream.UserID(r.Uvarint())
+			inst.seeds = append(inst.seeds, u)
+			inst.inSeeds.Add(uint32(u))
+		}
+		inst.cov.Restore(r)
+		ng := r.Len(maxLen)
+		for j := 0; j < ng && r.Err() == nil; j++ {
+			k := uint32(r.Uvarint())
+			inst.gainUB.Set(k, r.F64())
+		}
+		g.insts = append(g.insts, inst)
+	}
+	g.bestVal = r.F64()
+	nb := r.Len(maxLen)
+	g.bestSeeds = g.bestSeeds[:0]
+	for i := 0; i < nb && r.Err() == nil; i++ {
+		g.bestSeeds = append(g.bestSeeds, stream.UserID(r.Uvarint()))
+	}
+	g.dirty = r.Bool()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("oracle: restoring sieve grid: %w", err)
+	}
+	return nil
+}
+
+// SaveState implements Persistent for the swap oracles: the seed snapshots
+// (user plus admission-time influence set, in slot order — slot identity
+// matters to BlogWatch's min-weight victim scan) and the running value.
+func (s *Swap) SaveState(w *wire.Writer) error {
+	w.Uvarint(swapPayloadVersion)
+	w.Varint(s.elements)
+	w.F64(s.value)
+	w.Uvarint(uint64(len(s.seeds)))
+	for _, sd := range s.seeds {
+		w.Uvarint(uint64(sd.user))
+		w.Uvarint(uint64(len(sd.set)))
+		for _, v := range sd.set {
+			w.Uvarint(uint64(v))
+		}
+	}
+	return w.Err()
+}
+
+// RestoreState implements Persistent for the swap oracles.
+func (s *Swap) RestoreState(r *wire.Reader) error {
+	if v := r.Uvarint(); r.Err() == nil && v != swapPayloadVersion {
+		return fmt.Errorf("oracle: unsupported swap payload version %d", v)
+	}
+	s.elements = r.Varint()
+	s.value = r.F64()
+	n := r.Len(maxLen)
+	s.seeds = make([]swapSeed, 0, min(n, 1<<16))
+	for i := 0; i < n && r.Err() == nil; i++ {
+		sd := swapSeed{user: stream.UserID(r.Uvarint())}
+		ns := r.Len(maxLen)
+		sd.set = make([]stream.UserID, 0, min(ns, 1<<20))
+		for j := 0; j < ns && r.Err() == nil; j++ {
+			sd.set = append(sd.set, stream.UserID(r.Uvarint()))
+		}
+		s.seeds = append(s.seeds, sd)
+	}
+	s.dirtyIDs = true
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("oracle: restoring swap oracle: %w", err)
+	}
+	return nil
+}
+
+// SaveState implements Persistent for the Exact reference oracle: the
+// latest influence set of every user, in first-seen order (enumeration
+// order is the tie-break of the exact answer).
+func (x *Exact) SaveState(w *wire.Writer) error {
+	w.Uvarint(exactPayloadVersion)
+	w.Varint(x.elements)
+	w.Uvarint(uint64(len(x.users)))
+	for _, u := range x.users {
+		w.Uvarint(uint64(u))
+		set := x.sets[u]
+		w.Uvarint(uint64(len(set)))
+		for _, v := range set {
+			w.Uvarint(uint64(v))
+		}
+	}
+	return w.Err()
+}
+
+// RestoreState implements Persistent for Exact.
+func (x *Exact) RestoreState(r *wire.Reader) error {
+	if v := r.Uvarint(); r.Err() == nil && v != exactPayloadVersion {
+		return fmt.Errorf("oracle: unsupported exact payload version %d", v)
+	}
+	x.elements = r.Varint()
+	n := r.Len(maxLen)
+	x.users = make([]stream.UserID, 0, min(n, 1<<16))
+	x.sets = make(map[stream.UserID][]stream.UserID, min(n, 1<<16))
+	for i := 0; i < n && r.Err() == nil; i++ {
+		u := stream.UserID(r.Uvarint())
+		ns := r.Len(maxLen)
+		set := make([]stream.UserID, 0, min(ns, 1<<20))
+		for j := 0; j < ns && r.Err() == nil; j++ {
+			set = append(set, stream.UserID(r.Uvarint()))
+		}
+		x.users = append(x.users, u)
+		x.sets[u] = set
+	}
+	x.dirty = true
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("oracle: restoring exact oracle: %w", err)
+	}
+	return nil
+}

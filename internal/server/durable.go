@@ -1,0 +1,245 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/sim"
+)
+
+// Durability of a served tracker: an in-memory hot path paired with a
+// write-ahead log and periodic SIM2 snapshots, the standard
+// snapshot-plus-log recovery design of production stream systems.
+//
+// Layout of a tracker's data directory (<registry data dir>/<name>/):
+//
+//	snapshot.sim2       latest complete snapshot (sim.Tracker.SaveTo)
+//	snapshot.sim2.tmp   in-flight snapshot write; never loaded
+//	wal.log             batches applied since that snapshot (see wal.go)
+//
+// Write path (all on the tracker's single-writer ingest loop): every batch
+// is appended to the WAL and fsynced BEFORE it is applied and the refreshed
+// snapshot published — an acknowledged action is on disk, so a kill -9
+// mid-ingest loses nothing acknowledged. Once the WAL exceeds its size
+// threshold the loop writes a fresh snapshot to snapshot.sim2.tmp, fsyncs,
+// atomically renames it over snapshot.sim2 and truncates the WAL. A crash
+// between rename and truncate only leaves WAL entries the snapshot already
+// covers; recovery skips them by ID.
+//
+// Recovery (tracker construction): load snapshot.sim2 if present, then
+// replay wal.log — skipping batches whose newest ID is not beyond the
+// snapshot — through the same ProcessAll path the live loop uses, so a
+// batch that was partially rejected live (stream-order conflict) replays to
+// the identical partially-applied state. A torn WAL tail (the crash's
+// unacknowledged in-flight append) is dropped by the frame parser.
+const (
+	snapshotFileName = "snapshot.sim2"
+	snapshotTempName = "snapshot.sim2.tmp"
+	walFileName      = "wal.log"
+	lockFileName     = ".lock"
+)
+
+// DefaultSnapshotWALBytes is the WAL size that triggers a snapshot+truncate
+// when the Spec does not set one.
+const DefaultSnapshotWALBytes int64 = 4 << 20
+
+// ErrDurability wraps disk failures of the durable path (WAL appends).
+// Batches rejected with it were NOT applied: the in-memory state never runs
+// ahead of the log.
+var ErrDurability = errors.New("server: durability failure")
+
+// RecoveryInfo summarizes what a durable tracker's boot recovered.
+type RecoveryInfo struct {
+	// SnapshotLoaded reports whether a snapshot file was restored.
+	SnapshotLoaded bool
+	// SnapshotProcessed is the tracker's accepted-action count immediately
+	// after the snapshot load (0 without a snapshot).
+	SnapshotProcessed int64
+	// WALBatches / WALActions count the log records replayed on top.
+	WALBatches, WALActions int
+}
+
+// durability is the per-tracker durable state, owned — like the tracker
+// itself — by the single-writer ingest loop after construction.
+type durability struct {
+	dir      string
+	lock     *os.File // exclusive data-dir flock, held for the tracker's lifetime
+	wal      *wal
+	walLimit int64
+	// snapErr publishes the most recent snapshot failure (reported via
+	// /v1/healthz as a degraded-durability signal: the WAL keeps growing
+	// and every reboot replays more, so an operator must hear about it;
+	// appends failing is surfaced per-request instead). Written only by
+	// the ingest loop, read by the HTTP health handler — hence atomic.
+	// Holds a string; empty means healthy.
+	snapErr atomic.Value
+}
+
+// recoverTracker rebuilds a tracker from dir (snapshot + WAL replay) and
+// returns it with the open durable state. With no prior files it starts
+// fresh. A snapshot that exists but fails to load is a hard error: silently
+// starting empty would masquerade as data loss.
+func recoverTracker(dir string, cfg sim.Config, walLimit int64) (*sim.Tracker, *durability, RecoveryInfo, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, RecoveryInfo{}, fmt.Errorf("server: creating data dir: %w", err)
+	}
+	lock, err := lockDataDir(dir)
+	if err != nil {
+		return nil, nil, RecoveryInfo{}, err
+	}
+	recovered := false
+	defer func() {
+		if !recovered {
+			lock.Close() // releases the flock on every error path
+		}
+	}()
+	// A leftover temp snapshot is an interrupted write; the real file (if
+	// any) is the authoritative one.
+	_ = os.Remove(filepath.Join(dir, snapshotTempName))
+
+	var (
+		tr   *sim.Tracker
+		info RecoveryInfo
+	)
+	snapPath := filepath.Join(dir, snapshotFileName)
+	if f, oerr := os.Open(snapPath); oerr == nil {
+		tr, err = sim.Load(f, cfg)
+		f.Close()
+		if err != nil {
+			return nil, nil, info, fmt.Errorf("server: loading %s: %w", snapPath, err)
+		}
+		info.SnapshotLoaded = true
+		info.SnapshotProcessed = tr.Processed()
+	} else if !errors.Is(oerr, os.ErrNotExist) {
+		return nil, nil, info, fmt.Errorf("server: opening snapshot: %w", oerr)
+	} else if tr, err = sim.New(cfg); err != nil {
+		return nil, nil, info, err
+	}
+
+	last := tr.LastID()
+	info.WALBatches, info.WALActions, err = replayWAL(filepath.Join(dir, walFileName), func(batch []sim.Action) error {
+		// Skip records entirely covered by the snapshot (the crash-window
+		// leftovers between snapshot rename and WAL truncate). Snapshots are
+		// taken at batch boundaries, so coverage is all-or-nothing per
+		// record — but "covered" must mean the batch's MAXIMUM ID, not its
+		// final element's: a conflict batch (valid prefix applied live, then
+		// a rewinding ID, 409) can end on a low ID while its applied prefix
+		// lies beyond the snapshot.
+		covered := true
+		for _, a := range batch {
+			if a.ID > last {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return nil
+		}
+		if err := tr.ProcessAll(batch); err != nil {
+			// Stream-order rejections replay the live outcome (prefix
+			// applied, batch aborted, client saw 409) — not a recovery
+			// failure. Anything else is.
+			if errors.Is(err, sim.ErrNonMonotonicID) || errors.Is(err, sim.ErrBadParent) {
+				return nil
+			}
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		tr.Close()
+		return nil, nil, info, err
+	}
+
+	w, err := openWAL(filepath.Join(dir, walFileName))
+	if err != nil {
+		tr.Close()
+		return nil, nil, info, err
+	}
+	if walLimit <= 0 {
+		walLimit = DefaultSnapshotWALBytes
+	}
+	recovered = true
+	return tr, &durability{dir: dir, lock: lock, wal: w, walLimit: walLimit}, info, nil
+}
+
+// logBatch appends one batch to the WAL; called by the ingest loop before
+// applying the batch. On failure the batch must not be applied.
+func (d *durability) logBatch(batch []sim.Action) error {
+	if err := d.wal.append(batch); err != nil {
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	return nil
+}
+
+// maybeSnapshot writes a snapshot and truncates the WAL once the log has
+// outgrown its threshold. force skips the threshold (the graceful-shutdown
+// final snapshot). Runs on the ingest loop; tr is safe to use. Failures are
+// remembered, not fatal: the WAL keeps every batch, so durability degrades
+// to longer replays, never to loss.
+func (d *durability) maybeSnapshot(tr *sim.Tracker, force bool) {
+	if d.wal.size == 0 {
+		return // the last snapshot (or empty state) already covers everything
+	}
+	if !force && d.wal.size < d.walLimit {
+		return
+	}
+	if err := d.writeSnapshot(tr); err != nil {
+		d.snapErr.Store(err.Error())
+		return
+	}
+	if err := d.wal.reset(); err != nil {
+		d.snapErr.Store(err.Error())
+		return
+	}
+	d.snapErr.Store("")
+}
+
+// snapshotErr returns the most recent snapshot failure message, or "" when
+// the durable path is healthy. Safe to call from any goroutine.
+func (d *durability) snapshotErr() string {
+	s, _ := d.snapErr.Load().(string)
+	return s
+}
+
+// writeSnapshot persists tr via the temp-file/fsync/rename dance, so
+// snapshot.sim2 always names a complete snapshot.
+func (d *durability) writeSnapshot(tr *sim.Tracker) error {
+	tmp := filepath.Join(d.dir, snapshotTempName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := tr.SaveTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("server: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, snapshotFileName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("server: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// close releases the WAL handle and the data-dir lock.
+func (d *durability) close() {
+	if d.wal != nil {
+		d.wal.close()
+	}
+	if d.lock != nil {
+		d.lock.Close()
+	}
+}

@@ -1,0 +1,19 @@
+//go:build !unix
+
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lockDataDir on platforms without flock only creates the marker file;
+// single-process use of a data directory is not enforced there.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: opening data-dir lock: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDataDir takes an exclusive, non-blocking advisory flock on
+// dir/.lock. Two simserve processes pointed at the same data directory
+// (a deploy overlap, a copy-pasted unit file) would otherwise interleave
+// WAL appends through their O_APPEND handles and race snapshot renames —
+// the second process must fail fast instead. The lock lives as long as
+// the returned file handle (released automatically by the kernel if the
+// process dies, so a kill -9 never leaves a stale lock).
+func lockDataDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: opening data-dir lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("server: data dir %s is in use by another process (flock: %w)", dir, err)
+	}
+	return f, nil
+}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +60,13 @@ type Tracked struct {
 	done    chan struct{} // closed when the loop has drained and exited
 	started time.Time
 
+	// dur, when non-nil, makes the tracker durable: the loop appends every
+	// batch to a write-ahead log before applying it and periodically
+	// snapshots + truncates (see durable.go). Owned by the loop after
+	// construction. recovered describes what boot restored.
+	dur       *durability
+	recovered RecoveryInfo
+
 	mu         sync.Mutex // guards closed
 	closed     bool
 	submitters sync.WaitGroup // enqueues in flight past the closed check
@@ -67,9 +76,22 @@ type Tracked struct {
 	snap atomic.Pointer[sim.Snapshot]
 }
 
-// newTracked builds the tracker for spec and starts its ingest loop.
-func newTracked(name string, spec Spec) (*Tracked, error) {
-	tr, err := sim.New(spec.Config())
+// newTracked builds the tracker for spec and starts its ingest loop. A
+// non-empty dataDir makes the tracker durable: its state is recovered from
+// dataDir (snapshot + WAL replay) and every subsequent batch is logged
+// before it is applied.
+func newTracked(name string, spec Spec, dataDir string) (*Tracked, error) {
+	var (
+		tr   *sim.Tracker
+		dur  *durability
+		info RecoveryInfo
+		err  error
+	)
+	if dataDir != "" {
+		tr, dur, info, err = recoverTracker(dataDir, spec.Config(), spec.SnapshotWALBytes)
+	} else {
+		tr, err = sim.New(spec.Config())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -78,17 +100,36 @@ func newTracked(name string, spec Spec) (*Tracked, error) {
 		queue = defaultQueueLen
 	}
 	t := &Tracked{
-		name:    name,
-		spec:    spec,
-		tr:      tr,
-		in:      make(chan command, queue),
-		quit:    make(chan struct{}),
-		done:    make(chan struct{}),
-		started: time.Now(),
+		name:      name,
+		spec:      spec,
+		tr:        tr,
+		in:        make(chan command, queue),
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+		started:   time.Now(),
+		dur:       dur,
+		recovered: info,
 	}
-	t.publish() // queries before the first ingest see an empty snapshot
+	t.publish() // queries before the first ingest see the recovered snapshot
 	go t.loop()
 	return t, nil
+}
+
+// Recovery reports what boot restored for a durable tracker; ok is false
+// for trackers without durability.
+func (t *Tracked) Recovery() (info RecoveryInfo, ok bool) {
+	return t.recovered, t.dur != nil
+}
+
+// DurabilityError returns the most recent snapshot failure message of a
+// durable tracker, or "" when it is healthy (or memory-only). A non-empty
+// value means the WAL is growing unbounded and recovery replays lengthen —
+// degraded durability, not data loss — and is surfaced by GET /v1/healthz.
+func (t *Tracked) DurabilityError() string {
+	if t.dur == nil {
+		return ""
+	}
+	return t.dur.snapshotErr()
 }
 
 // Name returns the tracker's registry name.
@@ -118,8 +159,20 @@ func (t *Tracked) loop() {
 		var err error
 		switch {
 		case c.batch != nil:
-			err = t.tr.ProcessAll(c.batch)
+			// Durable trackers log the batch (fsync included) before
+			// applying it: once the caller sees success, the actions are on
+			// disk. A WAL failure rejects the batch unapplied — the
+			// in-memory state never runs ahead of the log.
+			if t.dur != nil {
+				err = t.dur.logBatch(c.batch)
+			}
+			if err == nil {
+				err = t.tr.ProcessAll(c.batch)
+			}
 			t.publish()
+			if t.dur != nil {
+				t.dur.maybeSnapshot(t.tr, false)
+			}
 		case c.query != nil:
 			c.query(t.tr)
 			// Queries flush actions buffered by sim batching, which can
@@ -129,6 +182,12 @@ func (t *Tracked) loop() {
 		if c.reply != nil {
 			c.reply <- outcome{err: err, processed: t.snap.Load().Processed}
 		}
+	}
+	// Drained: take a final snapshot so the next boot skips WAL replay
+	// entirely. Still on the loop goroutine, so t.tr is safe to serialize.
+	if t.dur != nil {
+		t.dur.maybeSnapshot(t.tr, true)
+		t.dur.close()
 	}
 }
 
@@ -231,6 +290,7 @@ func (t *Tracked) Close() error {
 type Registry struct {
 	mu       sync.RWMutex
 	trackers map[string]*Tracked
+	dataDir  string
 }
 
 // NewRegistry returns an empty registry.
@@ -238,8 +298,26 @@ func NewRegistry() *Registry {
 	return &Registry{trackers: make(map[string]*Tracked)}
 }
 
+// SetDataDir enables durability for trackers added afterwards: each gets
+// <dir>/<name>/ holding its snapshot and write-ahead log (see durable.go),
+// is recovered from it on Add and persists every applied batch. Call before
+// Add; an empty dir (the default) keeps trackers memory-only.
+func (r *Registry) SetDataDir(dir string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dataDir = dir
+}
+
+// DataDir returns the durability root, or "" when trackers are memory-only.
+func (r *Registry) DataDir() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.dataDir
+}
+
 // Add builds the tracker described by spec, registers it under name and
-// starts its ingest loop.
+// starts its ingest loop. On a durable registry (SetDataDir) the tracker
+// first recovers its state from disk.
 func (r *Registry) Add(name string, spec Spec) (*Tracked, error) {
 	if name == "" {
 		return nil, errors.New("server: tracker name must not be empty")
@@ -249,7 +327,15 @@ func (r *Registry) Add(name string, spec Spec) (*Tracked, error) {
 	if _, ok := r.trackers[name]; ok {
 		return nil, fmt.Errorf("server: tracker %q already exists", name)
 	}
-	t, err := newTracked(name, spec)
+	dir := ""
+	if r.dataDir != "" {
+		// The name becomes a directory component; keep it one.
+		if strings.ContainsAny(name, `/\`) || name == "." || name == ".." {
+			return nil, fmt.Errorf("server: tracker name %q is not usable as a data directory", name)
+		}
+		dir = filepath.Join(r.dataDir, name)
+	}
+	t, err := newTracked(name, spec, dir)
 	if err != nil {
 		return nil, fmt.Errorf("server: tracker %q: %w", name, err)
 	}

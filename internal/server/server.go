@@ -46,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -56,6 +57,12 @@ import (
 // DefaultMaxBodyBytes caps an ingest request body (64 MiB, roughly 3M
 // NDJSON actions).
 const DefaultMaxBodyBytes = 64 << 20
+
+// Version is the build version reported by GET /v1/healthz and the
+// simserve -version flag. Override at link time:
+//
+//	go build -ldflags "-X repro/internal/server.Version=v1.2.3" ./cmd/simserve
+var Version = "dev"
 
 // Server is the HTTP front of a Registry. It implements http.Handler.
 type Server struct {
@@ -85,7 +92,41 @@ func New(reg *Registry) *Server {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	return s
+}
+
+// handleHealth serves the structured probe endpoint (the plain /healthz
+// stays as the minimal liveness check). Status degrades when a durable
+// tracker's snapshot writes are failing: ingestion still works and the WAL
+// keeps every batch, but the log grows unbounded until the condition —
+// reported per tracker in "degraded" — clears.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	var degraded map[string]string
+	for _, n := range names {
+		if t, ok := s.reg.Get(n); ok {
+			if msg := t.DurabilityError(); msg != "" {
+				if degraded == nil {
+					degraded = make(map[string]string)
+				}
+				degraded[n] = msg
+			}
+		}
+	}
+	status := "ok"
+	if len(degraded) > 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        status,
+		Version:       Version,
+		GoVersion:     runtime.Version(),
+		Trackers:      len(names),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Durable:       s.reg.DataDir() != "",
+		Degraded:      degraded,
+	})
 }
 
 // ServeHTTP dispatches to the v1 API.
@@ -159,6 +200,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				errors.Is(err, context.Canceled),
 				errors.Is(err, context.DeadlineExceeded):
 				writeError(w, http.StatusServiceUnavailable, "%v", err)
+			case errors.Is(err, ErrDurability):
+				// WAL append failed: the batch was rejected unapplied so
+				// the log never lags the tracker. Retryable server fault.
+				writeError(w, http.StatusInternalServerError, "%v", err)
 			default:
 				// Stream-order violation: the batch aborted at the
 				// offending action; everything before it is applied.

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/wire"
+	"repro/sim"
+)
+
+// The write-ahead log of a durable tracker: one framed record per applied
+// ingest batch, appended and fsynced BEFORE the batch reaches the tracker,
+// so an acknowledged batch is always recoverable after a crash. Record
+// framing:
+//
+//	'B' · uvarint payload length · payload · CRC-32 (IEEE, LE)
+//	payload: uvarint action count · per action varint ID · uvarint user · varint parent
+//
+// Batch boundaries are semantic, not incidental: replay re-submits each
+// record as one ProcessAll batch, so a mid-batch stream-order rejection
+// (the live 409 path, which applies the prefix and drops the rest) replays
+// to exactly the same state.
+//
+// The log has a single appender (the tracker's ingest loop), so torn writes
+// can only occur at the tail — a kill -9 mid-append. Replay therefore stops
+// at the first frame that fails to parse or checksum: everything before it
+// was written by a completed, synced append; everything from it on was
+// never acknowledged. A *failed* append (short write, ENOSPC, fsync error)
+// is rolled back by truncating the file to its pre-append size, so the
+// rejected record's bytes cannot linger mid-log where they would make
+// replay stop early and drop batches acknowledged after them; if the
+// rollback itself fails the log is poisoned — every later append is
+// refused — which keeps the invariant that acknowledged records are never
+// preceded by junk.
+
+// walRecordTag starts every WAL record.
+const walRecordTag = byte('B')
+
+// maxWALRecordBytes bounds one record's payload; a corrupt length claim at
+// the tail fails fast instead of attempting a giant allocation.
+const maxWALRecordBytes = 1 << 30
+
+// wal is an append-only, fsync-per-append batch log.
+type wal struct {
+	f      *os.File
+	path   string
+	size   int64        // current file size, the snapshot-policy input
+	buf    bytes.Buffer // payload scratch, reused across appends
+	frame  bytes.Buffer // framed-record scratch, reused across appends
+	broken error        // a failed append that could not be rolled back
+}
+
+// openWAL opens (creating if needed) the log at path for appending.
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: opening WAL: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("server: opening WAL: %w", err)
+	}
+	return &wal{f: f, path: path, size: st.Size()}, nil
+}
+
+// append frames, writes and fsyncs one batch. Only after append returns nil
+// may the batch be applied and acknowledged. A failed append is rolled back
+// (see the package comment), so the error means the log is exactly as it
+// was before the call — or poisoned, refusing everything thereafter.
+func (w *wal) append(batch []sim.Action) error {
+	if w.broken != nil {
+		return fmt.Errorf("server: WAL unusable after failed rollback: %w", w.broken)
+	}
+
+	// Payload, via the same wire primitives every snapshot layer uses
+	// (bytes.Buffer writes cannot fail, so enc.Err is statically nil).
+	w.buf.Reset()
+	enc := wire.NewWriter(&w.buf)
+	enc.Uvarint(uint64(len(batch)))
+	for _, a := range batch {
+		enc.Varint(int64(a.ID))
+		enc.Uvarint(uint64(a.User))
+		enc.Varint(int64(a.Parent))
+	}
+	payload := w.buf.Bytes()
+
+	// Frame around it (header before, CRC after), assembled in one reused
+	// buffer so the record hits the file in a single Write.
+	w.frame.Reset()
+	w.frame.Grow(len(payload) + 16)
+	w.frame.WriteByte(walRecordTag)
+	wire.NewWriter(&w.frame).Uvarint(uint64(len(payload)))
+	w.frame.Write(payload)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	w.frame.Write(crc[:])
+
+	prev := w.size
+	n, err := w.f.Write(w.frame.Bytes())
+	w.size += int64(n)
+	if err != nil {
+		return w.rollback(prev, fmt.Errorf("server: WAL append: %w", err))
+	}
+	if err := w.f.Sync(); err != nil {
+		// The record may be fully written but is not durable — and the batch
+		// is about to be rejected, so it must not resurface on replay.
+		return w.rollback(prev, fmt.Errorf("server: WAL sync: %w", err))
+	}
+	return nil
+}
+
+// rollback restores the log to its pre-append size after a failed append
+// and returns cause. The truncation is itself synced so the rejected bytes
+// cannot reappear after a crash. If any step fails the log is poisoned:
+// appending past leftover junk would strand every later record behind a
+// frame replay treats as the torn tail.
+func (w *wal) rollback(prev int64, cause error) error {
+	if err := w.f.Truncate(prev); err != nil {
+		w.broken = fmt.Errorf("%w; rollback truncate: %v", cause, err)
+		return w.broken
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = fmt.Errorf("%w; rollback sync: %v", cause, err)
+		return w.broken
+	}
+	w.size = prev
+	return cause
+}
+
+// reset truncates the log after a successful snapshot. With O_APPEND,
+// subsequent appends land at the new end of file.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("server: WAL truncate: %w", err)
+	}
+	w.size = 0
+	return nil
+}
+
+// close releases the file handle.
+func (w *wal) close() error { return w.f.Close() }
+
+// replayWAL streams the log's batches to apply in append order. It
+// tolerates a torn tail (see the package comment above): parsing stops
+// cleanly at the first incomplete or checksum-failing frame. A missing file
+// is an empty log. apply errors abort the replay.
+func replayWAL(path string, apply func(batch []sim.Action) error) (batches, actions int, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("server: opening WAL for replay: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	for {
+		tag, err := br.ReadByte()
+		if err == io.EOF {
+			return batches, actions, nil
+		}
+		if err != nil {
+			return batches, actions, fmt.Errorf("server: reading WAL: %w", err)
+		}
+		if tag != walRecordTag {
+			return batches, actions, nil // torn tail
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > maxWALRecordBytes {
+			return batches, actions, nil // torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return batches, actions, nil // torn tail
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return batches, actions, nil // torn tail
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+			return batches, actions, nil // torn tail
+		}
+		batch, err := decodeWALBatch(payload)
+		if err != nil {
+			// A CRC-valid record that does not decode is real corruption,
+			// not a torn write: surface it.
+			return batches, actions, fmt.Errorf("server: WAL record %d: %w", batches+1, err)
+		}
+		if err := apply(batch); err != nil {
+			return batches, actions, err
+		}
+		batches++
+		actions += len(batch)
+	}
+}
+
+// decodeWALBatch parses one record payload (the encoding in append).
+func decodeWALBatch(payload []byte) ([]sim.Action, error) {
+	br := bytes.NewReader(payload)
+	r := wire.NewReader(br)
+	n := r.Len(len(payload)) // every action takes >= 3 bytes
+	batch := make([]sim.Action, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		id := sim.ActionID(r.Varint())
+		user := sim.UserID(r.Uvarint())
+		parent := sim.ActionID(r.Varint())
+		batch = append(batch, sim.Action{ID: id, User: user, Parent: parent})
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", br.Len())
+	}
+	return batch, nil
+}

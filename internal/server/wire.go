@@ -29,6 +29,10 @@ type Spec struct {
 	// Queue is the ingest queue capacity in commands (batches), the bound
 	// behind the Submit backpressure. 0 means the server default (256).
 	Queue int `json:"queue,omitempty"`
+	// SnapshotWALBytes is the write-ahead-log size that triggers a
+	// snapshot+truncate on a durable registry (one with a data dir). 0
+	// means the server default (4 MiB). Ignored without durability.
+	SnapshotWALBytes int64 `json:"snapshot_wal_bytes,omitempty"`
 }
 
 // Config converts the spec to the sim.Config it describes.
@@ -138,6 +142,24 @@ type StatsResponse struct {
 	CheckpointsDeleted int64     `json:"checkpoints_deleted"`
 	QueueDepth         int       `json:"queue_depth"`
 	QueueCapacity      int       `json:"queue_capacity"`
+}
+
+// HealthResponse answers GET /v1/healthz: build info plus the coarse
+// liveness facts an orchestration probe wants.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	Trackers      int     `json:"trackers"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Durable reports whether the registry persists tracker state (a data
+	// dir is configured).
+	Durable bool `json:"durable"`
+	// Degraded maps tracker names to their latest snapshot-write failure.
+	// Present (and Status "degraded") only while a durable tracker cannot
+	// snapshot: batches stay safe in its ever-growing WAL, but recovery
+	// replays lengthen until the underlying condition clears.
+	Degraded map[string]string `json:"degraded,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON response.

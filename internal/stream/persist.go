@@ -1,0 +1,164 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// streamPayloadVersion versions the Save payload independently of the SIM2
+// container that carries it.
+const streamPayloadVersion = 1
+
+// Save serializes the stream's complete mutable state — the diffusion index
+// (with reference counts), the per-user contribution logs, the retained
+// window and the cumulative statistics — so that Restore yields a stream
+// that behaves bit-identically to this one on every future Ingest, Advance
+// and influence query. Map-backed state is emitted in sorted key order, so
+// saving the same stream twice produces identical bytes.
+//
+// The transient query machinery (generation marks, contributor arenas, the
+// userLog header arena) is deliberately not serialized: it is scratch that
+// rebuilds on first use and never affects results.
+func (s *Stream) Save(w io.Writer) error {
+	ww := wire.NewWriter(w)
+	ww.Uvarint(streamPayloadVersion)
+	ww.Varint(int64(s.horizon))
+	ww.Varint(int64(s.last))
+
+	// Retained window, oldest first.
+	live := s.window[s.wstart:]
+	ww.Uvarint(uint64(len(live)))
+	for _, a := range live {
+		ww.Varint(int64(a.ID))
+		ww.Uvarint(uint64(a.User))
+		ww.Varint(int64(a.Parent))
+	}
+
+	// Diffusion index with refcounts. Refs are reconstructible (one liveness
+	// reference per in-window action plus one per retained child), but
+	// storing them keeps Restore a single pass and makes the payload
+	// self-validating.
+	ids := make([]ActionID, 0, len(s.idx))
+	for id := range s.idx {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ww.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		rec := s.idx[id]
+		ww.Varint(int64(id))
+		ww.Uvarint(uint64(rec.user))
+		ww.Varint(int64(rec.parent))
+		ww.Varint(int64(rec.refs))
+	}
+
+	// Contribution logs. Entry order within a log is semantic (descending
+	// recency — the prefix property every influence query relies on) and is
+	// preserved verbatim.
+	users := make([]UserID, 0, len(s.logs))
+	for u := range s.logs {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	ww.Uvarint(uint64(len(users)))
+	for _, u := range users {
+		l := s.logs[u]
+		ww.Uvarint(uint64(u))
+		ww.Uvarint(uint64(len(l.list)))
+		for _, c := range l.list {
+			ww.Uvarint(uint64(c.V))
+			ww.Varint(int64(c.T))
+		}
+	}
+
+	// Cumulative statistics (Table 3 reproduction) and the all-time user
+	// set, sorted and delta-encoded.
+	ww.Varint(s.totalActions)
+	ww.Varint(s.totalDepth)
+	ww.Varint(s.totalRespDist)
+	ww.Varint(s.respActions)
+	all := make([]UserID, 0, len(s.userSet))
+	for u := range s.userSet {
+		all = append(all, u)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	ww.Uvarint(uint64(len(all)))
+	prev := uint64(0)
+	for _, u := range all {
+		ww.Uvarint(uint64(u) - prev)
+		prev = uint64(u)
+	}
+	return ww.Err()
+}
+
+// Restore deserializes a stream saved by Save. The returned stream is fully
+// independent of the reader's backing storage and behaves bit-identically
+// to the saved one.
+func Restore(r io.Reader) (*Stream, error) {
+	rr := wire.NewReader(r)
+	if v := rr.Uvarint(); rr.Err() == nil && v != streamPayloadVersion {
+		return nil, fmt.Errorf("stream: unsupported payload version %d", v)
+	}
+	s := New()
+	s.horizon = ActionID(rr.Varint())
+	s.last = ActionID(rr.Varint())
+
+	// Length claims are validated loosely here (the SIM2 container already
+	// CRC-protects payloads); capacity hints are clamped so a corrupt claim
+	// cannot force a giant allocation before the decode loop fails.
+	nWindow := rr.Len(wire.MaxLen)
+	s.window = make([]Action, 0, min(nWindow, 1<<20))
+	for i := 0; i < nWindow && rr.Err() == nil; i++ {
+		s.window = append(s.window, Action{
+			ID:     ActionID(rr.Varint()),
+			User:   UserID(rr.Uvarint()),
+			Parent: ActionID(rr.Varint()),
+		})
+	}
+
+	nIdx := rr.Len(wire.MaxLen)
+	s.idx = make(map[ActionID]*record, min(nIdx, 1<<20))
+	for i := 0; i < nIdx && rr.Err() == nil; i++ {
+		id := ActionID(rr.Varint())
+		rec := &record{
+			user:   UserID(rr.Uvarint()),
+			parent: ActionID(rr.Varint()),
+			refs:   int32(rr.Varint()),
+		}
+		s.idx[id] = rec
+	}
+
+	nLogs := rr.Len(wire.MaxLen)
+	s.logs = make(map[UserID]*userLog, min(nLogs, 1<<20))
+	for i := 0; i < nLogs && rr.Err() == nil; i++ {
+		u := UserID(rr.Uvarint())
+		n := rr.Len(wire.MaxLen)
+		l := &userLog{list: make([]Contrib, 0, min(n, 1<<20))}
+		for j := 0; j < n && rr.Err() == nil; j++ {
+			l.list = append(l.list, Contrib{
+				V: UserID(rr.Uvarint()),
+				T: ActionID(rr.Varint()),
+			})
+		}
+		s.logs[u] = l
+	}
+
+	s.totalActions = rr.Varint()
+	s.totalDepth = rr.Varint()
+	s.totalRespDist = rr.Varint()
+	s.respActions = rr.Varint()
+	nUsers := rr.Len(wire.MaxLen)
+	s.userSet = make(map[UserID]struct{}, min(nUsers, 1<<20))
+	prev := uint64(0)
+	for i := 0; i < nUsers && rr.Err() == nil; i++ {
+		prev += rr.Uvarint()
+		s.userSet[UserID(prev)] = struct{}{}
+	}
+	if err := rr.Err(); err != nil {
+		return nil, fmt.Errorf("stream: restoring: %w", err)
+	}
+	return s, nil
+}

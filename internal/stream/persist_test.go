@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// genActions builds a deterministic random stream with reply chains.
+func genActions(n int, users int, seed int64) []Action {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Action, 0, n)
+	for i := 0; i < n; i++ {
+		a := Action{ID: ActionID(i + 1), User: UserID(rng.Intn(users)), Parent: NoParent}
+		if i > 0 && rng.Float64() < 0.7 {
+			back := rng.Intn(min(i, 40)) + 1
+			a.Parent = ActionID(i + 1 - back)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// persistIngest feeds actions with periodic horizon advances, mimicking
+// the framework's maintenance cadence.
+func persistIngest(t *testing.T, s *Stream, actions []Action, window ActionID) {
+	t.Helper()
+	for _, a := range actions {
+		if _, err := s.Ingest(a); err != nil {
+			t.Fatalf("ingest %v: %v", a, err)
+		}
+		if h := a.ID - window + 1; h > 0 {
+			s.Advance(h)
+		}
+	}
+}
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	actions := genActions(1200, 80, 7)
+	s := New()
+	persistIngest(t, s, actions[:800], 300)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	r, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	if r.Last() != s.Last() || r.Horizon() != s.Horizon() || r.Len() != s.Len() {
+		t.Fatalf("restored scalars differ: last %d/%d horizon %d/%d len %d/%d",
+			r.Last(), s.Last(), r.Horizon(), s.Horizon(), r.Len(), s.Len())
+	}
+	if !reflect.DeepEqual(r.Stats(), s.Stats()) {
+		t.Fatalf("restored stats differ: %+v vs %+v", r.Stats(), s.Stats())
+	}
+
+	// Continue ingesting identically on both and compare every influence
+	// query along the way: restored behavior must be bit-identical.
+	for _, a := range actions[800:] {
+		for _, st := range []*Stream{s, r} {
+			if _, err := st.Ingest(a); err != nil {
+				t.Fatalf("post-restore ingest %v: %v", a, err)
+			}
+			if h := a.ID - 300 + 1; h > 0 {
+				st.Advance(h)
+			}
+		}
+		u := a.User
+		got := r.InfluenceRecency(u, r.Horizon())
+		want := s.InfluenceRecency(u, s.Horizon())
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("after %v: influence recency of %d differs:\n got %v\nwant %v", a, u, got, want)
+		}
+	}
+	if !reflect.DeepEqual(r.Stats(), s.Stats()) {
+		t.Fatalf("final stats differ: %+v vs %+v", r.Stats(), s.Stats())
+	}
+	// Contributor resolution (ancestor chains through expired-but-retained
+	// records) must also survive.
+	for _, a := range actions[1100:] {
+		got := r.Contributors(a.ID, nil)
+		want := s.Contributors(a.ID, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("contributors of %d differ: %v vs %v", a.ID, got, want)
+		}
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	s := New()
+	persistIngest(t, s, genActions(500, 40, 3), 200)
+	var b1, b2 bytes.Buffer
+	if err := s.Save(&b1); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := s.Save(&b2); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two Saves of the same stream produced different bytes")
+	}
+}
+
+func TestRestoreEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	r, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if r.Last() != -1 || r.Len() != 0 {
+		t.Fatalf("restored empty stream: last=%d len=%d", r.Last(), r.Len())
+	}
+	if _, err := r.Ingest(Action{ID: 1, User: 2, Parent: NoParent}); err != nil {
+		t.Fatalf("ingest into restored empty stream: %v", err)
+	}
+}
+
+func TestRestoreTruncated(t *testing.T) {
+	s := New()
+	persistIngest(t, s, genActions(300, 30, 5), 100)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	b := buf.Bytes()
+	if _, err := Restore(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Fatal("Restore of truncated payload succeeded")
+	}
+}

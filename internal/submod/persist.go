@@ -1,0 +1,44 @@
+package submod
+
+import (
+	"sort"
+
+	"repro/internal/wire"
+)
+
+// Save serializes the covered set and accumulated value. Members are
+// emitted sorted, so equal coverage state always produces equal bytes.
+//
+// The value is stored as raw float bits rather than recomputed on Restore:
+// under weighted objectives the accumulated sum depends on the historical
+// Add order, and restoring the exact bits is what keeps a resumed oracle's
+// admission thresholds — and therefore its decisions — identical to an
+// uninterrupted run.
+func (c *Coverage) Save(w *wire.Writer) {
+	members := make([]uint32, 0, c.covered.Len())
+	c.covered.ForEach(func(k uint32) bool {
+		members = append(members, k)
+		return true
+	})
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	w.Uvarint(uint64(len(members)))
+	prev := uint32(0)
+	for _, m := range members {
+		w.Uvarint(uint64(m - prev))
+		prev = m
+	}
+	w.F64(c.value)
+}
+
+// Restore replaces the accumulator's state with one saved by Save. The
+// weights stay as constructed — they are configuration, not state.
+func (c *Coverage) Restore(r *wire.Reader) {
+	c.covered.Reset()
+	n := r.Len(wire.MaxLen)
+	prev := uint32(0)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		prev += uint32(r.Uvarint())
+		c.covered.Add(prev)
+	}
+	c.value = r.F64()
+}

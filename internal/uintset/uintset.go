@@ -198,6 +198,18 @@ func (m *Map) Get(k uint32) (float64, bool) {
 // Len returns the number of entries.
 func (m *Map) Len() int { return m.count }
 
+// ForEach visits every entry in unspecified order; stops early when visit
+// returns false.
+func (m *Map) ForEach(visit func(k uint32, v float64) bool) {
+	for i, k := range m.keys {
+		if k != 0 {
+			if !visit(uint32(k-1), m.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
 // Reset empties the map, keeping its capacity. Stale values behind cleared
 // keys are unreachable and overwritten on reuse.
 func (m *Map) Reset() {

@@ -1,0 +1,297 @@
+package sim_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/sim"
+)
+
+// TestSaveLoadRoundTripIdentity is the acceptance matrix of the durable
+// tracker contract: for every generated dataset, both frameworks (IC and
+// SIC) and both window modes (sequence- and time-based), interrupting a run
+// at an arbitrary mid-stream point with SaveTo, reconstructing with Load
+// and finishing the stream yields Seeds, Value and CheckpointStarts
+// bit-identical to a run that was never interrupted — checked at every
+// slide boundary of the remainder, plus the cumulative Stats at the end.
+// Run under -race in CI.
+func TestSaveLoadRoundTripIdentity(t *testing.T) {
+	const (
+		window = 700
+		slide  = 50
+		k      = 6
+	)
+	for _, ds := range identityDatasets() {
+		for _, fw := range []sim.Framework{sim.SIC, sim.IC} {
+			for _, byTime := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%v/byTime=%v", ds.name, fw, byTime)
+				t.Run(name, func(t *testing.T) {
+					cfg := sim.Config{
+						K: k, WindowSize: window, Slide: slide, Beta: 0.1,
+						Framework: fw, TimeBased: byTime,
+					}
+					ref, err := sim.New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer ref.Close()
+
+					// A deliberately awkward cut: mid-slide, mid-window.
+					cut := len(ds.actions)*2/3 + 7
+					interrupted, err := sim.New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, a := range ds.actions[:cut] {
+						if err := ref.Process(a); err != nil {
+							t.Fatal(err)
+						}
+						if err := interrupted.Process(a); err != nil {
+							t.Fatal(err)
+						}
+					}
+
+					var snap bytes.Buffer
+					if err := interrupted.SaveTo(&snap); err != nil {
+						t.Fatalf("SaveTo: %v", err)
+					}
+					if err := interrupted.Close(); err != nil {
+						t.Fatalf("Close: %v", err)
+					}
+					resumed, err := sim.Load(bytes.NewReader(snap.Bytes()), cfg)
+					if err != nil {
+						t.Fatalf("Load: %v", err)
+					}
+					defer resumed.Close()
+
+					if got, want := resumed.Processed(), ref.Processed(); got != want {
+						t.Fatalf("restored Processed = %d, want %d", got, want)
+					}
+					if got, want := resumed.LastID(), ref.LastID(); got != want {
+						t.Fatalf("restored LastID = %d, want %d", got, want)
+					}
+					for i, a := range ds.actions[cut:] {
+						if err := ref.Process(a); err != nil {
+							t.Fatal(err)
+						}
+						if err := resumed.Process(a); err != nil {
+							t.Fatal(err)
+						}
+						if (cut+i+1)%slide != 0 {
+							continue
+						}
+						if v, rv := resumed.Value(), ref.Value(); v != rv {
+							t.Fatalf("action %d: resumed value %v != uninterrupted %v", cut+i+1, v, rv)
+						}
+						if s, rs := resumed.Seeds(), ref.Seeds(); !reflect.DeepEqual(s, rs) {
+							t.Fatalf("action %d: resumed seeds %v != uninterrupted %v", cut+i+1, s, rs)
+						}
+						if c, rc := resumed.CheckpointStarts(), ref.CheckpointStarts(); !reflect.DeepEqual(c, rc) {
+							t.Fatalf("action %d: resumed checkpoints %v != uninterrupted %v", cut+i+1, c, rc)
+						}
+					}
+					if st, rst := resumed.Stats(), ref.Stats(); st != rst {
+						t.Fatalf("final stats diverge: resumed %+v, uninterrupted %+v", st, rst)
+					}
+					if v, rv := resumed.CheckpointValues(), ref.CheckpointValues(); !reflect.DeepEqual(v, rv) {
+						t.Fatalf("final checkpoint values diverge: %v vs %v", v, rv)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSaveLoadAcrossRuntimeKnobs pins that Parallelism and BatchSize are
+// runtime knobs of the snapshot contract: a snapshot from a serial tracker
+// loads into a parallel one (and vice versa) and — for parallelism, which
+// is bit-identical by design — continues identically.
+func TestSaveLoadAcrossRuntimeKnobs(t *testing.T) {
+	ds := identityDatasets()[2] // SYN-O
+	base := sim.Config{K: 6, WindowSize: 700, Slide: 50, Beta: 0.1}
+	cut := len(ds.actions) / 2
+
+	ref, err := sim.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	saver, err := sim.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range ds.actions[:cut] {
+		if err := ref.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := saver.Process(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := saver.SaveTo(&snap); err != nil {
+		t.Fatalf("SaveTo: %v", err)
+	}
+	if err := saver.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wide := base
+	wide.Parallelism = 4
+	resumed, err := sim.Load(bytes.NewReader(snap.Bytes()), wide)
+	if err != nil {
+		t.Fatalf("Load with Parallelism=4: %v", err)
+	}
+	defer resumed.Close()
+	for _, a := range ds.actions[cut:] {
+		if err := ref.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.Process(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, rv := resumed.Value(), ref.Value(); v != rv {
+		t.Fatalf("parallel-resumed value %v != serial %v", v, rv)
+	}
+	if s, rs := resumed.Seeds(), ref.Seeds(); !reflect.DeepEqual(s, rs) {
+		t.Fatalf("parallel-resumed seeds %v != serial %v", s, rs)
+	}
+}
+
+// TestSaveToFlushesBatchBuffer asserts a SaveTo mid-batch covers every
+// Processed action: the buffered tail is flushed into the snapshot, not
+// dropped.
+func TestSaveLoadBatchedTracker(t *testing.T) {
+	ds := identityDatasets()[0]
+	cfg := sim.Config{K: 5, WindowSize: 500, Slide: 25, Beta: 0.1, BatchSize: 64}
+	tr, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := 777 // deliberately not a multiple of BatchSize
+	for _, a := range ds.actions[:cut] {
+		if err := tr.Process(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := tr.SaveTo(&snap); err != nil {
+		t.Fatalf("SaveTo: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := sim.Load(bytes.NewReader(snap.Bytes()), cfg)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	defer resumed.Close()
+	if got := resumed.Processed(); got != int64(cut) {
+		t.Fatalf("restored Processed = %d, want %d (batch buffer lost?)", got, cut)
+	}
+	for _, a := range ds.actions[cut:] {
+		if err := resumed.Process(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := resumed.Processed(); got != int64(len(ds.actions)) {
+		t.Fatalf("final Processed = %d, want %d", got, len(ds.actions))
+	}
+}
+
+// TestLoadRejectsMismatchedConfig asserts the snapshot's configuration echo
+// guards against loading state under a different query definition.
+func TestLoadRejectsMismatchedConfig(t *testing.T) {
+	ds := identityDatasets()[0]
+	cfg := sim.Config{K: 5, WindowSize: 500, Slide: 25, Beta: 0.1}
+	tr, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for _, a := range ds.actions[:300] {
+		if err := tr.Process(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snap bytes.Buffer
+	if err := tr.SaveTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := []struct {
+		name   string
+		mutate func(*sim.Config)
+		want   string
+	}{
+		{"K", func(c *sim.Config) { c.K = 6 }, "K"},
+		{"WindowSize", func(c *sim.Config) { c.WindowSize = 600 }, "WindowSize"},
+		{"Slide", func(c *sim.Config) { c.Slide = 50 }, "Slide"},
+		{"Beta", func(c *sim.Config) { c.Beta = 0.2 }, "Beta"},
+		{"Framework", func(c *sim.Config) { c.Framework = sim.IC }, "Framework"},
+		{"Oracle", func(c *sim.Config) { c.Oracle = sim.ThresholdStream }, "Oracle"},
+		{"TimeBased", func(c *sim.Config) { c.TimeBased = true }, "TimeBased"},
+		{"Weights", func(c *sim.Config) { c.Weights = sim.Cardinality{} }, "weights"},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			bad := cfg
+			m.mutate(&bad)
+			_, err := sim.Load(bytes.NewReader(snap.Bytes()), bad)
+			if err == nil {
+				t.Fatalf("Load with mutated %s succeeded", m.name)
+			}
+			if !strings.Contains(err.Error(), m.want) {
+				t.Fatalf("error does not mention %q: %v", m.want, err)
+			}
+		})
+	}
+
+	// The unmutated config still loads.
+	if _, err := sim.Load(bytes.NewReader(snap.Bytes()), cfg); err != nil {
+		t.Fatalf("Load with matching config: %v", err)
+	}
+}
+
+// TestLoadRejectsGarbage pins the error surface on non-snapshot input.
+func TestLoadRejectsGarbage(t *testing.T) {
+	cfg := sim.Config{K: 5, WindowSize: 500}
+	if _, err := sim.Load(strings.NewReader("not a snapshot at all"), cfg); err == nil {
+		t.Fatal("garbage input accepted")
+	}
+	if _, err := sim.Load(strings.NewReader(""), cfg); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// TestSaveLoadFreshTracker round-trips a tracker that has processed
+// nothing: the degenerate snapshot must load and then ingest normally.
+func TestSaveLoadFreshTracker(t *testing.T) {
+	cfg := sim.Config{K: 3, WindowSize: 100}
+	tr, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := tr.SaveTo(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := sim.Load(bytes.NewReader(snap.Bytes()), cfg)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	defer resumed.Close()
+	if err := resumed.Process(sim.Action{ID: 1, User: 2, Parent: sim.NoParent}); err != nil {
+		t.Fatalf("Process after fresh-tracker load: %v", err)
+	}
+	if got := resumed.Processed(); got != 1 {
+		t.Fatalf("Processed = %d, want 1", got)
+	}
+}

@@ -35,6 +35,12 @@
 // memory with the tracker — and publishes it; that is exactly how the
 // long-lived serving layer (internal/server, cmd/simserve) serves queries
 // while the stream keeps arriving.
+//
+// Tracker state is persistable: SaveTo writes a versioned SIM2 snapshot of
+// everything the tracker owns (stream index, every checkpoint oracle's
+// state, counters) and Load reconstructs a tracker that continues the
+// stream with bit-identical results — the foundation of the serving
+// layer's write-ahead-log + snapshot durability (simserve -data-dir).
 package sim
 
 import (
@@ -64,6 +70,17 @@ type (
 
 // NoParent marks a root action.
 const NoParent = stream.NoParent
+
+// Stream-order errors returned by Process and ProcessAll (wrapped; test
+// with errors.Is).
+var (
+	// ErrNonMonotonicID reports an action whose ID is not strictly greater
+	// than every previously accepted ID.
+	ErrNonMonotonicID = stream.ErrNonMonotonicID
+	// ErrBadParent reports an action referencing itself or a future action
+	// as its parent.
+	ErrBadParent = stream.ErrBadParent
+)
 
 // Cardinality is the unweighted influence objective f(I(S)) = |I(S)|.
 type Cardinality = submod.Cardinality
@@ -265,10 +282,11 @@ type Config struct {
 // use: Parallelism only fans out the internal oracle updates of a single
 // Process call.
 type Tracker struct {
-	fw     *core.Framework
-	filter func(Action) bool
-	orc    Oracle
-	pool   *pool.Pool
+	fw       *core.Framework
+	filter   func(Action) bool
+	orc      Oracle
+	pool     *pool.Pool
+	weighted bool // non-nil Weights at construction; echoed into snapshots
 
 	batchSize int
 	batch     []Action
@@ -320,7 +338,10 @@ func New(cfg Config) (*Tracker, error) {
 	if bs == 0 {
 		bs = 1
 	}
-	return &Tracker{fw: fw, filter: cfg.Filter, orc: cfg.Oracle, pool: p, batchSize: bs, lastID: -1}, nil
+	return &Tracker{
+		fw: fw, filter: cfg.Filter, orc: cfg.Oracle, pool: p,
+		weighted: cfg.Weights != nil, batchSize: bs, lastID: -1,
+	}, nil
 }
 
 // Process ingests one action. Actions must arrive with strictly increasing
@@ -423,6 +444,12 @@ func (t *Tracker) WindowStart() ActionID { return t.flushed().WindowStart() }
 // Processed returns the number of accepted (unfiltered) actions, including
 // any still buffered by batching.
 func (t *Tracker) Processed() int64 { return t.fw.Processed() + int64(len(t.batch)) }
+
+// LastID returns the ID of the newest accepted action, including any still
+// buffered by batching, or -1 when nothing has been accepted yet. The
+// serving layer's crash recovery uses it to skip write-ahead-log entries
+// already covered by a restored snapshot.
+func (t *Tracker) LastID() ActionID { return t.lastID }
 
 // Stats summarizes the tracker's internal state. It marshals to JSON with
 // the frameworks and oracles spelled by name, so it can be served verbatim
