@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-check fmt fmt-check vet ci serve serve-smoke recover-smoke
+.PHONY: all build test race bench bench-json bench-check fmt fmt-check vet lint ci serve serve-smoke recover-smoke
 
 all: build
 
@@ -24,9 +24,9 @@ bench:
 # allocs/op, B/op, actions/sec). Commit the output as BENCH_<PR>.json to
 # extend the cross-PR performance trajectory; CI uploads the same file as a
 # workflow artifact.
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR6.json
 bench-json:
-	$(GO) run ./cmd/simbench -exp tput,par -scale smoke -json $(BENCH_JSON)
+	$(GO) run ./cmd/simbench -exp tput,par,query -scale smoke -json $(BENCH_JSON)
 
 # CI bench regression guard: rerun the committed baseline's experiments and
 # fail on a large hot-path regression (>25% allocs/op — deterministic — or
@@ -35,9 +35,9 @@ bench-json:
 # (simbench -check-retries, min-of-N) before failing, since 1-CPU scheduler
 # noise is one-sided. The fresh snapshot goes to a scratch file; the
 # committed baseline is never overwritten.
-BENCH_BASELINE ?= BENCH_PR2.json
+BENCH_BASELINE ?= BENCH_PR6.json
 bench-check:
-	$(GO) run ./cmd/simbench -exp tput,par -scale smoke \
+	$(GO) run ./cmd/simbench -exp tput,par,query -scale smoke \
 		-json bench-fresh.json -check $(BENCH_BASELINE)
 
 # Run the serving layer (cmd/simserve) on :8384 with a default tracker.
@@ -68,4 +68,13 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build race bench serve-smoke recover-smoke bench-check
+# staticcheck when installed (CI installs it; locally this soft-skips so a
+# bare container can still run `make ci`).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+ci: fmt-check lint build race bench serve-smoke recover-smoke bench-check

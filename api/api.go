@@ -1,10 +1,55 @@
-package server
+// Package api is the public wire surface of the simserve HTTP API: the
+// request/response DTOs of every /v1 endpoint, the tracker Spec document
+// format, the error contract, and a typed Client. The server
+// (internal/server) marshals these exact types, so a program that imports
+// api is coupled to the wire format by the compiler rather than by
+// hand-maintained JSON literals.
+//
+// # Endpoints
+//
+//	GET  /healthz                                plain "ok" liveness probe
+//	GET  /v1/healthz                             HealthResponse
+//	GET  /v1/trackers                            ListResponse
+//	GET  /v1/trackers/{name}                     sim.Snapshot
+//	POST /v1/trackers/{name}/actions             NDJSON body -> IngestResponse
+//	GET  /v1/trackers/{name}/seeds               SeedsResponse
+//	GET  /v1/trackers/{name}/value               ValueResponse
+//	GET  /v1/trackers/{name}/window              WindowResponse
+//	GET  /v1/trackers/{name}/checkpoints         CheckpointsResponse
+//	GET  /v1/trackers/{name}/stats               StatsResponse
+//	GET  /v1/trackers/{name}/influence?user=U    InfluenceResponse
+//	POST /v1/trackers/{name}/query               QueryRequest -> QueryResponse
+//	GET  /metrics                                Prometheus text format
+//
+// # Error contract
+//
+// Every non-2xx response carries an ErrorResponse body:
+//
+//	{"error": "<human-readable message>", "code": <HTTP status>}
+//
+// with the code repeating the HTTP status line so error bodies are
+// self-describing when logged or proxied. The statuses in use:
+//
+//	400  malformed request: bad NDJSON, bad query plan, bad parameters
+//	404  unknown tracker
+//	409  ingest conflict: a stream-order violation (non-monotonic ID,
+//	     unknown parent) aborted the batch at the offending action;
+//	     everything before it was applied
+//	413  ingest body exceeds the server's size cap
+//	500  durable tracker could not append to its write-ahead log; the
+//	     batch was NOT applied and may be retried
+//	503  tracker (or server) is draining, or the request's context
+//	     expired while queued
+//
+// The Client surfaces these as *Error values.
+package api
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
 
+	"repro/query"
 	"repro/sim"
 )
 
@@ -26,6 +71,13 @@ type Spec struct {
 	Parallelism   int           `json:"parallelism,omitempty"`
 	Batch         int           `json:"batch,omitempty"`
 	ExpectedUsers int           `json:"expected_users,omitempty"`
+	// Names switches the tracker to name-mode ingest: NDJSON "user" fields
+	// are strings, interned server-side to dense IDs in first-appearance
+	// order. Name-mode trackers resolve names in /seeds, /influence and the
+	// query layer's "names" operator; numeric "user" fields are rejected
+	// (and string ones are rejected without Names) so the two ID spaces
+	// cannot mix.
+	Names bool `json:"names,omitempty"`
 	// Queue is the ingest queue capacity in commands (batches), the bound
 	// behind the Submit backpressure. 0 means the server default (256).
 	Queue int `json:"queue,omitempty"`
@@ -65,16 +117,22 @@ func ReadSpecs(r io.Reader) (map[string]Spec, error) {
 	dec.DisallowUnknownFields()
 	var f specFile
 	if err := dec.Decode(&f); err != nil {
-		return nil, fmt.Errorf("server: parsing tracker specs: %w", err)
+		return nil, fmt.Errorf("api: parsing tracker specs: %w", err)
 	}
 	if len(f.Trackers) == 0 {
-		return nil, fmt.Errorf("server: spec declares no trackers")
+		return nil, fmt.Errorf("api: spec declares no trackers")
 	}
 	return f.Trackers, nil
 }
 
-// Wire types of the HTTP API. Every response body is one of these structs
-// (or sim.Snapshot / sim.Stats, which marshal by name).
+// NamedAction is one action of a name-mode ingest: like sim.Action but with
+// the user as an external string name. Parent is -1 (or sim.NoParent) for
+// root actions.
+type NamedAction struct {
+	ID     sim.ActionID
+	User   string
+	Parent sim.ActionID
+}
 
 // IngestResponse answers POST /v1/trackers/{name}/actions.
 type IngestResponse struct {
@@ -91,6 +149,9 @@ type SeedsResponse struct {
 	Value       float64      `json:"value"`
 	WindowStart sim.ActionID `json:"window_start"`
 	Processed   int64        `json:"processed"`
+	// Names carries the seeds' external names, index-aligned with Seeds,
+	// on name-mode trackers only.
+	Names []string `json:"names,omitempty"`
 }
 
 // ValueResponse answers GET /v1/trackers/{name}/value.
@@ -114,9 +175,11 @@ type CheckpointsResponse struct {
 }
 
 // InfluenceResponse answers GET /v1/trackers/{name}/influence?user=U: the
-// users U currently influences within the window (Definition 1).
+// users U currently influences within the window (Definition 1). On a
+// name-mode tracker U is an external name, echoed in Name.
 type InfluenceResponse struct {
 	User        sim.UserID   `json:"user"`
+	Name        string       `json:"name,omitempty"`
 	Influenced  []sim.UserID `json:"influenced"`
 	Count       int          `json:"count"`
 	WindowStart sim.ActionID `json:"window_start"`
@@ -162,7 +225,43 @@ type HealthResponse struct {
 	Degraded map[string]string `json:"degraded,omitempty"`
 }
 
-// ErrorResponse is the body of every non-2xx JSON response.
+// QueryRequest is the body of POST /v1/trackers/{name}/query: a relational
+// plan (see package query for the plan language) executed lazily against
+// the tracker's atomically published snapshot — never the live tracker, so
+// queries of any cost run without touching the ingest loop.
+type QueryRequest struct {
+	Plan query.Plan `json:"plan"`
+	// Limit caps the returned rows; 0 means the server default (10000).
+	// Truncation is reported, not an error.
+	Limit int `json:"limit,omitempty"`
+}
+
+// QueryResponse answers POST /v1/trackers/{name}/query.
+type QueryResponse struct {
+	// Columns names the result columns, in row order.
+	Columns []string `json:"columns"`
+	// Rows holds the result tuples; cells are JSON numbers or strings
+	// (query.Value).
+	Rows []query.Row `json:"rows"`
+	// Truncated reports that the row limit cut the result short.
+	Truncated bool `json:"truncated"`
+	// Processed / WindowStart identify the snapshot the query ran against.
+	Processed   int64        `json:"processed"`
+	WindowStart sim.ActionID `json:"window_start"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response; Code repeats
+// the HTTP status (see the package comment for the full contract).
 type ErrorResponse struct {
 	Error string `json:"error"`
+	Code  int    `json:"code"`
 }
+
+// Error is the typed form of a non-2xx response, returned by Client
+// methods. Code is the HTTP status.
+type Error struct {
+	Code    int
+	Message string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("api: %s (HTTP %d)", e.Message, e.Code) }

@@ -1,0 +1,82 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/sim"
+)
+
+// TestReadSpecs checks spec-file parsing, including failure on typos.
+func TestReadSpecs(t *testing.T) {
+	specs, err := ReadSpecs(strings.NewReader(
+		`{"trackers": {"a": {"k": 3, "window": 100, "framework": "ic", "oracle": "threshold"},
+		               "b": {"k": 1, "window": 50, "batch": 10, "queue": 7, "names": true}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("want 2 specs, got %d", len(specs))
+	}
+	a := specs["a"]
+	if a.K != 3 || a.Window != 100 || a.Framework != sim.IC || a.Oracle != sim.ThresholdStream {
+		t.Errorf("spec a = %+v", a)
+	}
+	if b := specs["b"]; b.Batch != 10 || b.Queue != 7 || !b.Names {
+		t.Errorf("spec b = %+v", b)
+	}
+	if _, err := ReadSpecs(strings.NewReader(`{"trackers": {"a": {"k": 3, "windoww": 9}}}`)); err == nil {
+		t.Error("typo in spec field should fail")
+	}
+	if _, err := ReadSpecs(strings.NewReader(`{"trackers": {}}`)); err == nil {
+		t.Error("empty spec should fail")
+	}
+	if _, err := ReadSpecs(strings.NewReader(`{"trackers": {"a": {"k": 3, "window": 10, "oracle": "bogus"}}}`)); err == nil {
+		t.Error("unknown oracle name should fail")
+	}
+}
+
+// TestClientErrorDecoding covers both halves of the client's non-2xx path:
+// the structured ErrorResponse envelope and the raw-body fallback for
+// responses that did not come from our handlers (proxies, panics).
+func TestClientErrorDecoding(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/trackers/enveloped":
+			w.WriteHeader(http.StatusConflict)
+			w.Write([]byte(`{"error":"stream order violated","code":409}`))
+		case "/v1/trackers/raw":
+			w.WriteHeader(http.StatusBadGateway)
+			w.Write([]byte("upstream fell over"))
+		default:
+			w.WriteHeader(http.StatusTeapot)
+		}
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL + "/") // trailing slash is trimmed
+
+	_, err := c.Snapshot(context.Background(), "enveloped")
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusConflict ||
+		apiErr.Message != "stream order violated" {
+		t.Errorf("enveloped error = %v", err)
+	}
+	if !strings.Contains(apiErr.Error(), "409") {
+		t.Errorf("Error() should mention the status: %q", apiErr.Error())
+	}
+
+	_, err = c.Snapshot(context.Background(), "raw")
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusBadGateway ||
+		apiErr.Message != "upstream fell over" {
+		t.Errorf("raw-body error = %v", err)
+	}
+
+	_, err = c.Snapshot(context.Background(), "empty")
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusTeapot {
+		t.Errorf("empty-body error = %v", err)
+	}
+}

@@ -1,0 +1,200 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/dataio"
+	"repro/sim"
+)
+
+// Client is a typed client for the simserve HTTP API. The zero value is not
+// usable; construct with NewClient. Methods return *Error for any non-2xx
+// response, so callers can switch on the HTTP status:
+//
+//	var apiErr *api.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == http.StatusConflict { ... }
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient is the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the server at baseURL (scheme://host:port,
+// with or without a trailing slash).
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes a 2xx body into out (skipped when out
+// is nil); non-2xx bodies become *Error.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("api: building request: %w", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("api: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into *Error, preferring the
+// ErrorResponse body and falling back to the raw body text.
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var er ErrorResponse
+	if err := json.Unmarshal(raw, &er); err == nil && er.Error != "" {
+		code := er.Code
+		if code == 0 {
+			code = resp.StatusCode
+		}
+		return &Error{Code: code, Message: er.Error}
+	}
+	msg := strings.TrimSpace(string(raw))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return &Error{Code: resp.StatusCode, Message: msg}
+}
+
+func trackerPath(name, suffix string) string {
+	return "/v1/trackers/" + url.PathEscape(name) + suffix
+}
+
+// Health fetches GET /v1/healthz.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", "", nil, &out)
+	return out, err
+}
+
+// List fetches GET /v1/trackers.
+func (c *Client) List(ctx context.Context) (ListResponse, error) {
+	var out ListResponse
+	err := c.do(ctx, http.MethodGet, "/v1/trackers", "", nil, &out)
+	return out, err
+}
+
+// Snapshot fetches GET /v1/trackers/{name}: the tracker's full published
+// read snapshot.
+func (c *Client) Snapshot(ctx context.Context, name string) (sim.Snapshot, error) {
+	var out sim.Snapshot
+	err := c.do(ctx, http.MethodGet, trackerPath(name, ""), "", nil, &out)
+	return out, err
+}
+
+// Seeds fetches GET /v1/trackers/{name}/seeds.
+func (c *Client) Seeds(ctx context.Context, name string) (SeedsResponse, error) {
+	var out SeedsResponse
+	err := c.do(ctx, http.MethodGet, trackerPath(name, "/seeds"), "", nil, &out)
+	return out, err
+}
+
+// Value fetches GET /v1/trackers/{name}/value.
+func (c *Client) Value(ctx context.Context, name string) (ValueResponse, error) {
+	var out ValueResponse
+	err := c.do(ctx, http.MethodGet, trackerPath(name, "/value"), "", nil, &out)
+	return out, err
+}
+
+// Window fetches GET /v1/trackers/{name}/window.
+func (c *Client) Window(ctx context.Context, name string) (WindowResponse, error) {
+	var out WindowResponse
+	err := c.do(ctx, http.MethodGet, trackerPath(name, "/window"), "", nil, &out)
+	return out, err
+}
+
+// Checkpoints fetches GET /v1/trackers/{name}/checkpoints.
+func (c *Client) Checkpoints(ctx context.Context, name string) (CheckpointsResponse, error) {
+	var out CheckpointsResponse
+	err := c.do(ctx, http.MethodGet, trackerPath(name, "/checkpoints"), "", nil, &out)
+	return out, err
+}
+
+// Stats fetches GET /v1/trackers/{name}/stats.
+func (c *Client) Stats(ctx context.Context, name string) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(ctx, http.MethodGet, trackerPath(name, "/stats"), "", nil, &out)
+	return out, err
+}
+
+// Influence fetches GET /v1/trackers/{name}/influence?user=U. user is a
+// decimal ID on numeric trackers and an external name on name-mode ones.
+func (c *Client) Influence(ctx context.Context, name, user string) (InfluenceResponse, error) {
+	var out InfluenceResponse
+	err := c.do(ctx, http.MethodGet,
+		trackerPath(name, "/influence")+"?user="+url.QueryEscape(user), "", nil, &out)
+	return out, err
+}
+
+// Ingest POSTs actions as one NDJSON batch to a numeric-ID tracker.
+func (c *Client) Ingest(ctx context.Context, name string, actions []sim.Action) (IngestResponse, error) {
+	var body bytes.Buffer
+	if err := dataio.WriteNDJSON(&body, actions); err != nil {
+		return IngestResponse{}, fmt.Errorf("api: encoding batch: %w", err)
+	}
+	var out IngestResponse
+	err := c.do(ctx, http.MethodPost, trackerPath(name, "/actions"),
+		"application/x-ndjson", &body, &out)
+	return out, err
+}
+
+// IngestNamed POSTs actions as one NDJSON batch to a name-mode tracker
+// (Spec.Names): users are external string names, interned server-side.
+func (c *Client) IngestNamed(ctx context.Context, name string, actions []NamedAction) (IngestResponse, error) {
+	recs := make([]dataio.NamedAction, len(actions))
+	for i, a := range actions {
+		recs[i] = dataio.NamedAction{ID: a.ID, User: a.User, Parent: a.Parent}
+	}
+	var body bytes.Buffer
+	if err := dataio.WriteNDJSONNamed(&body, recs); err != nil {
+		return IngestResponse{}, fmt.Errorf("api: encoding batch: %w", err)
+	}
+	var out IngestResponse
+	err := c.do(ctx, http.MethodPost, trackerPath(name, "/actions"),
+		"application/x-ndjson", &body, &out)
+	return out, err
+}
+
+// Query POSTs a relational plan to /v1/trackers/{name}/query and returns
+// the rows it produced against the tracker's current published snapshot.
+func (c *Client) Query(ctx context.Context, name string, req QueryRequest) (QueryResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return QueryResponse{}, fmt.Errorf("api: encoding query: %w", err)
+	}
+	var out QueryResponse
+	err = c.do(ctx, http.MethodPost, trackerPath(name, "/query"),
+		"application/json", bytes.NewReader(payload), &out)
+	return out, err
+}

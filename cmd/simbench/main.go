@@ -12,8 +12,9 @@
 //	simbench -exp tput,par -json BENCH.json        # machine-readable snapshot
 //
 // Experiment IDs: table2 table3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
-// par (checkpoint-sharded ingestion scaling) and tput (hot-path ns/allocs/B
-// per action), both extensions beyond the paper. -json writes every run's
+// par (checkpoint-sharded ingestion scaling), tput (hot-path ns/allocs/B
+// per action) and query (lazy relational operators vs the materialized
+// reference), all extensions beyond the paper. -json writes every run's
 // metrics as a Snapshot (see internal/bench.WriteJSON), the format committed
 // as BENCH_<PR>.json to track performance across PRs.
 // See DESIGN.md §5 for the mapping from each ID to the paper's artefact and

@@ -53,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/api"
 	"repro/internal/dataio"
 	"repro/internal/server"
 	"repro/sim"
@@ -78,6 +79,8 @@ func main() {
 		chunk     = flag.Int("replay-chunk", 512, "actions per replay ingest batch")
 		dataDir   = flag.String("data-dir", "", "durability root: per-tracker snapshot + write-ahead log under <dir>/<name>/; on boot, trackers recover their state from it")
 		snapBytes = flag.Int64("wal-snapshot-bytes", 0, "WAL size triggering snapshot+truncate for the flag-built tracker (0 = default 4 MiB)")
+		names     = flag.Bool("names", false, "name-mode tracker: NDJSON \"user\" fields are string names, interned to dense IDs")
+		unsafeRec = flag.Bool("unsafe-batch-recovery", false, "allow batch > 1 together with -data-dir even though crash recovery is only batch-for-batch identical at batch=1")
 		version   = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
@@ -97,10 +100,15 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		specs, err := server.ReadSpecs(f)
+		specs, err := api.ReadSpecs(f)
 		f.Close()
 		if err != nil {
 			fatalf("%v", err)
+		}
+		for sname, sp := range specs {
+			if err := validateSpec(sname, sp, *dataDir != "", *unsafeRec); err != nil {
+				fatalf("%v", err)
+			}
 		}
 		for sname, sp := range specs {
 			t, err := reg.Add(sname, sp)
@@ -124,11 +132,14 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		sp := server.Spec{
+		sp := api.Spec{
 			K: *k, Window: *window, Slide: *slide, Beta: *beta,
 			Framework: fwk, Oracle: o,
 			Parallelism: *par, Batch: *batch, ExpectedUsers: *users, Queue: *queue,
-			SnapshotWALBytes: *snapBytes,
+			SnapshotWALBytes: *snapBytes, Names: *names,
+		}
+		if err := validateSpec(*name, sp, *dataDir != "", *unsafeRec); err != nil {
+			fatalf("%v", err)
 		}
 		t, err := reg.Add(*name, sp)
 		if err != nil {

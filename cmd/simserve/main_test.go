@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/api"
+)
+
+// TestValidateSpecBatchDurability pins the startup guard of ISSUE 6: a
+// durable tracker with sim-level batching must be rejected unless the
+// operator explicitly opts into approximate recovery.
+func TestValidateSpecBatchDurability(t *testing.T) {
+	cases := []struct {
+		name    string
+		batch   int
+		durable bool
+		unsafe  bool
+		wantErr bool
+	}{
+		{"memory-only batched", 8, false, false, false},
+		{"durable unbatched", 0, true, false, false},
+		{"durable batch=1", 1, true, false, false},
+		{"durable batched", 8, true, false, true},
+		{"durable batched, escape hatch", 8, true, true, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sp := api.Spec{K: 5, Window: 100, Batch: c.batch}
+			err := validateSpec("default", sp, c.durable, c.unsafe)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("validateSpec(batch=%d durable=%v unsafe=%v) = %v, wantErr=%v",
+					c.batch, c.durable, c.unsafe, err, c.wantErr)
+			}
+			if err != nil && !strings.Contains(err.Error(), "unsafe-batch-recovery") {
+				t.Errorf("error %q does not point at the escape hatch", err)
+			}
+		})
+	}
+}

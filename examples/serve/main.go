@@ -1,9 +1,10 @@
 // Serve walkthrough: the full simserve client path in one process. We boot
-// the serving layer (internal/server) on a loopback listener, stream a
-// synthetic SYN-O workload into it over HTTP as NDJSON chunks — querying
-// the current seeds WHILE ingestion is running, the paper's real-time
-// operating mode — and finally check that the served answer is bit-identical
-// to a serial sim.Tracker replay of the same actions.
+// the serving layer (internal/server) on a loopback listener and drive it
+// entirely through the typed api.Client: stream a synthetic SYN-O workload
+// in as NDJSON chunks — querying the current seeds WHILE ingestion is
+// running, the paper's real-time operating mode — run a relational plan
+// against the published snapshot, and finally check that the served answer
+// is bit-identical to a serial sim.Tracker replay of the same actions.
 //
 // Run with: go run ./examples/serve
 //
@@ -13,27 +14,30 @@
 //	simgen -preset syn-o -users 500 -actions 10000 -format ndjson |
 //	    curl -s --data-binary @- localhost:8384/v1/trackers/default/actions
 //	curl -s localhost:8384/v1/trackers/default/seeds
+//	curl -s -X POST localhost:8384/v1/trackers/default/query \
+//	    -d '{"plan":{"scan":"seeds","ops":[{"op":"topk","col":"influence","k":3,"desc":true}]}}'
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/http"
 	"reflect"
 
-	"repro/internal/dataio"
+	"repro/api"
 	"repro/internal/gen"
 	"repro/internal/server"
+	"repro/query"
 	"repro/sim"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A tracker spec, exactly what simserve -spec would read from JSON.
-	spec := server.Spec{K: 5, Window: 2000, Framework: sim.SIC, Oracle: sim.SieveStreaming}
+	spec := api.Spec{K: 5, Window: 2000, Framework: sim.SIC, Oracle: sim.SieveStreaming}
 
 	reg := server.NewRegistry()
 	if _, err := reg.Add("default", spec); err != nil {
@@ -45,8 +49,8 @@ func main() {
 	}
 	httpSrv := &http.Server{Handler: server.New(reg)}
 	go httpSrv.Serve(ln)
-	base := "http://" + ln.Addr().String()
-	fmt.Printf("serving on %s\n", base)
+	client := api.NewClient("http://" + ln.Addr().String())
+	fmt.Printf("serving on %s\n", client.BaseURL)
 
 	// A synthetic workload: 10k actions of the paper's SYN-O stream.
 	actions := gen.Stream(gen.SynO(500, 10000, 2000, 7))
@@ -54,23 +58,28 @@ func main() {
 	// Ingest in NDJSON chunks, peeking at the live answer along the way —
 	// reads never block ingestion, they consume the published snapshot.
 	for i := 0; i < len(actions); i += 1000 {
-		var body bytes.Buffer
-		if err := dataio.WriteNDJSON(&body, actions[i:min(i+1000, len(actions))]); err != nil {
+		if _, err := client.Ingest(ctx, "default", actions[i:min(i+1000, len(actions))]); err != nil {
 			log.Fatal(err)
 		}
-		resp, err := http.Post(base+"/v1/trackers/default/actions", "application/x-ndjson", &body)
+		seeds, err := client.Seeds(ctx, "default")
 		if err != nil {
 			log.Fatal(err)
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			log.Fatalf("ingest: status %d", resp.StatusCode)
-		}
-
-		var seeds server.SeedsResponse
-		getJSON(base+"/v1/trackers/default/seeds", &seeds)
 		fmt.Printf("t=%-6d seeds=%v value=%.0f\n", seeds.Processed, seeds.Seeds, seeds.Value)
+	}
+
+	// A relational query over the same published snapshot: the three seeds
+	// with the largest influence sets, lazily scanned and cut server-side.
+	res, err := client.Query(ctx, "default", api.QueryRequest{Plan: query.Plan{
+		Scan: "seeds",
+		Ops:  []query.Op{{Op: "topk", Col: "influence", K: 3, Desc: true}},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query columns=%v\n", res.Columns)
+	for _, row := range res.Rows {
+		fmt.Printf("  seed user=%v influence=%v\n", row[1], row[2])
 	}
 
 	// The served state must match a serial replay exactly (the snapshot is
@@ -87,8 +96,10 @@ func main() {
 		}
 		want = ref.Snapshot()
 	}
-	var got sim.Snapshot
-	getJSON(base+"/v1/trackers/default", &got)
+	got, err := client.Snapshot(ctx, "default")
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !reflect.DeepEqual(got, want) {
 		log.Fatalf("served snapshot diverged from serial replay:\n got %+v\nwant %+v", got, want)
 	}
@@ -101,15 +112,4 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("drained and closed")
-}
-
-func getJSON(url string, v any) {
-	resp, err := http.Get(url)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		log.Fatal(err)
-	}
 }

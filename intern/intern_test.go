@@ -1,0 +1,99 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternAssignsDenseIDsInOrder(t *testing.T) {
+	tb := New(4)
+	names := []string{"alice", "bob", "carol", "alice", "bob", "dave"}
+	want := []uint32{0, 1, 2, 0, 1, 3}
+	for i, n := range names {
+		if got := tb.Intern(n); got != want[i] {
+			t.Fatalf("Intern(%q) = %d, want %d", n, got, want[i])
+		}
+	}
+	if tb.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tb.Len())
+	}
+	for i, n := range []string{"alice", "bob", "carol", "dave"} {
+		if got, ok := tb.Name(uint32(i)); !ok || got != n {
+			t.Errorf("Name(%d) = %q, %v, want %q", i, got, ok, n)
+		}
+		if id, ok := tb.Lookup(n); !ok || id != uint32(i) {
+			t.Errorf("Lookup(%q) = %d, %v, want %d", n, id, ok, i)
+		}
+	}
+	if _, ok := tb.Name(4); ok {
+		t.Error("Name(4) should miss")
+	}
+	if _, ok := tb.Lookup("eve"); ok {
+		t.Error("Lookup(eve) should miss")
+	}
+}
+
+func TestAppendedSince(t *testing.T) {
+	tb := New(0)
+	tb.Intern("a")
+	tb.Intern("b")
+	got := tb.AppendedSince(0)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("AppendedSince(0) = %v", got)
+	}
+	tb.Intern("c")
+	got = tb.AppendedSince(2)
+	if len(got) != 1 || got[0] != "c" {
+		t.Fatalf("AppendedSince(2) = %v", got)
+	}
+	if tb.AppendedSince(3) != nil {
+		t.Error("AppendedSince(Len) should be nil")
+	}
+	if got := tb.AppendedSince(-1); len(got) != 3 {
+		t.Errorf("AppendedSince(-1) = %v, want all 3", got)
+	}
+	// The increment is a copy: mutating it must not corrupt the table.
+	got[0] = "mutated"
+	if n, _ := tb.Name(0); n != "a" {
+		t.Errorf("table corrupted by increment mutation: Name(0) = %q", n)
+	}
+}
+
+// TestConcurrentIntern hammers Intern/Lookup/Name from many goroutines; run
+// under -race this proves the locking. Every goroutine interning the same
+// name must observe the same ID.
+func TestConcurrentIntern(t *testing.T) {
+	tb := New(0)
+	const workers, perWorker = 8, 200
+	ids := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]uint32, perWorker)
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("user-%d", i)
+				ids[w][i] = tb.Intern(name)
+				if n, ok := tb.Name(ids[w][i]); !ok || n != name {
+					t.Errorf("Name(Intern(%q)) = %q, %v", name, n, ok)
+					return
+				}
+				tb.Lookup(name)
+				tb.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tb.Len() != perWorker {
+		t.Fatalf("Len = %d, want %d", tb.Len(), perWorker)
+	}
+	for w := 1; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d saw Intern(user-%d) = %d, worker 0 saw %d", w, i, ids[w][i], ids[0][i])
+			}
+		}
+	}
+}

@@ -1,12 +1,16 @@
 package server
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 
+	"repro/intern"
+	"repro/internal/wire"
 	"repro/sim"
 )
 
@@ -39,6 +43,7 @@ const (
 	snapshotFileName = "snapshot.sim2"
 	snapshotTempName = "snapshot.sim2.tmp"
 	walFileName      = "wal.log"
+	namesFileName    = "names.log"
 	lockFileName     = ".lock"
 )
 
@@ -69,6 +74,13 @@ type durability struct {
 	lock     *os.File // exclusive data-dir flock, held for the tracker's lifetime
 	wal      *wal
 	walLimit int64
+	// namesFile / namesPersisted persist a name-mode tracker's intern table
+	// as an append-only log of length-prefixed names in ID order (names.log).
+	// Unlike the WAL it is never truncated: it IS the authoritative name→ID
+	// mapping, append-only by construction since IDs are dense and stable.
+	// Nil for numeric-ID trackers.
+	namesFile      *os.File
+	namesPersisted int
 	// snapErr publishes the most recent snapshot failure (reported via
 	// /v1/healthz as a degraded-durability signal: the WAL keeps growing
 	// and every reboot replays more, so an operator must hear about it;
@@ -82,7 +94,7 @@ type durability struct {
 // returns it with the open durable state. With no prior files it starts
 // fresh. A snapshot that exists but fails to load is a hard error: silently
 // starting empty would masquerade as data loss.
-func recoverTracker(dir string, cfg sim.Config, walLimit int64) (*sim.Tracker, *durability, RecoveryInfo, error) {
+func recoverTracker(dir string, cfg sim.Config, walLimit int64, names *intern.Table) (*sim.Tracker, *durability, RecoveryInfo, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, RecoveryInfo{}, fmt.Errorf("server: creating data dir: %w", err)
 	}
@@ -162,8 +174,75 @@ func recoverTracker(dir string, cfg sim.Config, walLimit int64) (*sim.Tracker, *
 	if walLimit <= 0 {
 		walLimit = DefaultSnapshotWALBytes
 	}
+	d := &durability{dir: dir, lock: lock, wal: w, walLimit: walLimit}
+	if names != nil {
+		if err := d.openNames(names); err != nil {
+			tr.Close()
+			w.close()
+			return nil, nil, info, err
+		}
+	}
 	recovered = true
-	return tr, &durability{dir: dir, lock: lock, wal: w, walLimit: walLimit}, info, nil
+	return tr, d, info, nil
+}
+
+// openNames replays names.log into the intern table — restoring the dense
+// name→ID mapping the snapshot and WAL reference — and opens the log for
+// appending. A torn trailing record (crash mid-append) is truncated away;
+// the IDs it would have named cannot appear in the WAL, whose batches are
+// only acknowledged after their names are on disk.
+func (d *durability) openNames(tb *intern.Table) error {
+	path := filepath.Join(d.dir, namesFileName)
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("server: reading %s: %w", path, err)
+	}
+	off := 0
+	for off < len(data) {
+		l, n := binary.Uvarint(data[off:])
+		if n <= 0 || off+n+int(l) > len(data) {
+			break // torn tail
+		}
+		tb.Intern(string(data[off+n : off+n+int(l)]))
+		off += n + int(l)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: opening %s: %w", path, err)
+	}
+	if err := f.Truncate(int64(off)); err != nil { // drop the torn tail, if any
+		f.Close()
+		return fmt.Errorf("server: truncating %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("server: seeking %s: %w", path, err)
+	}
+	d.namesFile = f
+	d.namesPersisted = tb.Len()
+	return nil
+}
+
+// logNames appends names interned since the last call (fsync included);
+// called by the ingest loop BEFORE the WAL append of the batch that may
+// reference them. On failure the batch must not be logged or applied.
+func (d *durability) logNames(tb *intern.Table) error {
+	fresh := tb.AppendedSince(d.namesPersisted)
+	if len(fresh) == 0 {
+		return nil
+	}
+	w := wire.NewWriter(d.namesFile)
+	for _, name := range fresh {
+		w.Bytes([]byte(name))
+	}
+	if err := w.Err(); err != nil {
+		return fmt.Errorf("%w: names log: %v", ErrDurability, err)
+	}
+	if err := d.namesFile.Sync(); err != nil {
+		return fmt.Errorf("%w: names log sync: %v", ErrDurability, err)
+	}
+	d.namesPersisted += len(fresh)
+	return nil
 }
 
 // logBatch appends one batch to the WAL; called by the ingest loop before
@@ -234,10 +313,13 @@ func (d *durability) writeSnapshot(tr *sim.Tracker) error {
 	return nil
 }
 
-// close releases the WAL handle and the data-dir lock.
+// close releases the WAL and names-log handles and the data-dir lock.
 func (d *durability) close() {
 	if d.wal != nil {
 		d.wal.close()
+	}
+	if d.namesFile != nil {
+		d.namesFile.Close()
 	}
 	if d.lock != nil {
 		d.lock.Close()

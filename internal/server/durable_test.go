@@ -13,12 +13,13 @@ import (
 	"strings"
 	"testing"
 
+	"repro/api"
 	"repro/internal/gen"
 	"repro/sim"
 )
 
 // durableSpec is a small tracker configuration shared by the tests.
-var durableSpec = Spec{K: 5, Window: 1500, Slide: 10}
+var durableSpec = api.Spec{K: 5, Window: 1500, Slide: 10}
 
 // durableStream generates a deterministic action stream.
 func durableStream(n int) []sim.Action {
@@ -317,14 +318,14 @@ func TestDataDirLock(t *testing.T) {
 	if _, err := reg.Add("default", durableSpec); err != nil {
 		t.Fatal(err)
 	}
-	if tr, _, _, err := recoverTracker(filepath.Join(dir, "default"), durableSpec.Config(), 0); err == nil {
+	if tr, _, _, err := recoverTracker(filepath.Join(dir, "default"), durableSpec.Config(), 0, nil); err == nil {
 		tr.Close()
 		t.Fatal("second recovery of a locked data dir succeeded")
 	}
 	if err := reg.Close(); err != nil {
 		t.Fatal(err)
 	}
-	tr, d, _, err := recoverTracker(filepath.Join(dir, "default"), durableSpec.Config(), 0)
+	tr, d, _, err := recoverTracker(filepath.Join(dir, "default"), durableSpec.Config(), 0, nil)
 	if err != nil {
 		t.Fatalf("recovery after Close: %v", err)
 	}
@@ -378,13 +379,13 @@ func TestHealthDegradedOnSnapshotFailure(t *testing.T) {
 	srv := httptest.NewServer(New(reg))
 	defer srv.Close()
 
-	health := func() HealthResponse {
+	health := func() api.HealthResponse {
 		resp, err := http.Get(srv.URL + "/v1/healthz")
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var h HealthResponse
+		var h api.HealthResponse
 		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 			t.Fatal(err)
 		}

@@ -3,53 +3,60 @@ package server_test
 import (
 	"context"
 	"fmt"
-	"io"
-	"net/http"
 	"net/http/httptest"
-	"os"
-	"strings"
 
+	"repro/api"
 	"repro/internal/server"
+	"repro/query"
 	"repro/sim"
 )
 
 // ExampleServer is the HTTP client path end to end: boot a server over one
-// tracker, POST the paper's Figure 1 stream as NDJSON, and query the seeds.
+// tracker, ingest the paper's Figure 1 stream through the typed api.Client,
+// read the seeds, and run a relational plan against the published snapshot.
 func ExampleServer() {
 	reg := server.NewRegistry()
-	if _, err := reg.Add("default", server.Spec{K: 2, Window: 8}); err != nil {
+	if _, err := reg.Add("default", api.Spec{K: 2, Window: 8}); err != nil {
 		panic(err)
 	}
 	srv := httptest.NewServer(server.New(reg))
 	defer srv.Close()
 	defer reg.Close()
 
-	body := `{"id":1,"user":1}
-{"id":2,"user":2,"parent":1}
-{"id":3,"user":3}
-{"id":4,"user":3,"parent":1}
-{"id":5,"user":4,"parent":3}
-{"id":6,"user":1,"parent":3}
-{"id":7,"user":5,"parent":3}
-{"id":8,"user":4,"parent":7}
-`
-	resp, err := http.Post(srv.URL+"/v1/trackers/default/actions",
-		"application/x-ndjson", strings.NewReader(body))
+	ctx := context.Background()
+	client := api.NewClient(srv.URL)
+	np := sim.NoParent
+	ir, err := client.Ingest(ctx, "default", []sim.Action{
+		{ID: 1, User: 1, Parent: np}, {ID: 2, User: 2, Parent: 1},
+		{ID: 3, User: 3, Parent: np}, {ID: 4, User: 3, Parent: 1},
+		{ID: 5, User: 4, Parent: 3}, {ID: 6, User: 1, Parent: 3},
+		{ID: 7, User: 5, Parent: 3}, {ID: 8, User: 4, Parent: 7},
+	})
 	if err != nil {
 		panic(err)
 	}
-	io.Copy(os.Stdout, resp.Body)
-	resp.Body.Close()
+	fmt.Printf("accepted=%d processed=%d\n", ir.Accepted, ir.Processed)
 
-	resp, err = http.Get(srv.URL + "/v1/trackers/default/seeds")
+	seeds, err := client.Seeds(ctx, "default")
 	if err != nil {
 		panic(err)
 	}
-	io.Copy(os.Stdout, resp.Body)
-	resp.Body.Close()
+	fmt.Printf("seeds=%v value=%.0f\n", seeds.Seeds, seeds.Value)
+
+	// The most influential seed, computed server-side by a lazy plan.
+	res, err := client.Query(ctx, "default", api.QueryRequest{Plan: query.Plan{
+		Scan: "seeds",
+		Ops:  []query.Op{{Op: "topk", Col: "influence", K: 1, Desc: true}},
+	}})
+	if err != nil {
+		panic(err)
+	}
+	top := res.Rows[0]
+	fmt.Printf("top seed: user=%d influence=%d\n", top[1].Int(), top[2].Int())
 	// Output:
-	// {"accepted":8,"processed":8}
-	// {"seeds":[1,3],"value":5,"window_start":1,"processed":8}
+	// accepted=8 processed=8
+	// seeds=[1 3] value=5
+	// top seed: user=3 influence=4
 }
 
 // ExampleTracked is the embedded client path: the same serving loop without
@@ -57,7 +64,7 @@ func ExampleServer() {
 // snapshot from any goroutine.
 func ExampleTracked() {
 	reg := server.NewRegistry()
-	tracked, err := reg.Add("demo", server.Spec{K: 2, Window: 8})
+	tracked, err := reg.Add("demo", api.Spec{K: 2, Window: 8})
 	if err != nil {
 		panic(err)
 	}

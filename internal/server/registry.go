@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/api"
+	"repro/intern"
 	"repro/sim"
 )
 
@@ -53,12 +55,18 @@ type outcome struct {
 // influence sets.
 type Tracked struct {
 	name    string
-	spec    Spec
+	spec    api.Spec
 	tr      *sim.Tracker
 	in      chan command
 	quit    chan struct{} // closed by Close: unblocks pending enqueues
 	done    chan struct{} // closed when the loop has drained and exited
 	started time.Time
+
+	// names interns external user names to dense IDs on name-mode trackers
+	// (Spec.Names); nil otherwise. Handlers intern concurrently (the table
+	// locks internally); the ingest loop persists new names to names.log
+	// before the WAL batch that references them.
+	names *intern.Table
 
 	// dur, when non-nil, makes the tracker durable: the loop appends every
 	// batch to a write-ahead log before applying it and periodically
@@ -74,21 +82,29 @@ type Tracked struct {
 	closeErr   error
 
 	snap atomic.Pointer[sim.Snapshot]
+	// prev is the last published snapshot whose Processed differed from the
+	// current one — the "previous" side of the query layer's window-compare
+	// sources. Nil until the first ingest progress after boot.
+	prev atomic.Pointer[sim.Snapshot]
 }
 
 // newTracked builds the tracker for spec and starts its ingest loop. A
 // non-empty dataDir makes the tracker durable: its state is recovered from
 // dataDir (snapshot + WAL replay) and every subsequent batch is logged
 // before it is applied.
-func newTracked(name string, spec Spec, dataDir string) (*Tracked, error) {
+func newTracked(name string, spec api.Spec, dataDir string) (*Tracked, error) {
 	var (
-		tr   *sim.Tracker
-		dur  *durability
-		info RecoveryInfo
-		err  error
+		tr    *sim.Tracker
+		dur   *durability
+		info  RecoveryInfo
+		err   error
+		names *intern.Table
 	)
+	if spec.Names {
+		names = intern.New(spec.ExpectedUsers)
+	}
 	if dataDir != "" {
-		tr, dur, info, err = recoverTracker(dataDir, spec.Config(), spec.SnapshotWALBytes)
+		tr, dur, info, err = recoverTracker(dataDir, spec.Config(), spec.SnapshotWALBytes, names)
 	} else {
 		tr, err = sim.New(spec.Config())
 	}
@@ -107,6 +123,7 @@ func newTracked(name string, spec Spec, dataDir string) (*Tracked, error) {
 		quit:      make(chan struct{}),
 		done:      make(chan struct{}),
 		started:   time.Now(),
+		names:     names,
 		dur:       dur,
 		recovered: info,
 	}
@@ -136,7 +153,11 @@ func (t *Tracked) DurabilityError() string {
 func (t *Tracked) Name() string { return t.name }
 
 // Spec returns the spec the tracker was built from.
-func (t *Tracked) Spec() Spec { return t.spec }
+func (t *Tracked) Spec() api.Spec { return t.spec }
+
+// Names returns the tracker's intern table on name-mode trackers
+// (Spec.Names), nil otherwise.
+func (t *Tracked) Names() *intern.Table { return t.names }
 
 // Started returns when the tracker began serving.
 func (t *Tracked) Started() time.Time { return t.started }
@@ -148,6 +169,11 @@ func (t *Tracked) QueueDepth() (depth, capacity int) { return len(t.in), cap(t.i
 // Snapshot returns the most recently published read snapshot. The snapshot
 // is immutable and shared; callers must not modify its slices.
 func (t *Tracked) Snapshot() *sim.Snapshot { return t.snap.Load() }
+
+// PrevSnapshot returns the snapshot published before the last ingest
+// progress (the baseline of the query layer's window-compare sources), or
+// nil when nothing has been ingested since boot.
+func (t *Tracked) PrevSnapshot() *sim.Snapshot { return t.prev.Load() }
 
 // loop is the single writer: it owns t.tr, applies commands in arrival
 // order, and republishes the read snapshot after each one. It exits when
@@ -162,9 +188,16 @@ func (t *Tracked) loop() {
 			// Durable trackers log the batch (fsync included) before
 			// applying it: once the caller sees success, the actions are on
 			// disk. A WAL failure rejects the batch unapplied — the
-			// in-memory state never runs ahead of the log.
+			// in-memory state never runs ahead of the log. Name-mode
+			// trackers persist newly interned names first, so every ID a
+			// WAL batch references is resolvable on recovery.
 			if t.dur != nil {
-				err = t.dur.logBatch(c.batch)
+				if t.names != nil {
+					err = t.dur.logNames(t.names)
+				}
+				if err == nil {
+					err = t.dur.logBatch(c.batch)
+				}
 			}
 			if err == nil {
 				err = t.tr.ProcessAll(c.batch)
@@ -191,10 +224,15 @@ func (t *Tracked) loop() {
 	}
 }
 
-// publish refreshes the shared read snapshot. Called only from the goroutine
-// that owns t.tr (the loop, or newTracked before the loop starts).
+// publish refreshes the shared read snapshot, rotating the old one into
+// prev when ingest progressed — window-compare queries diff the two. Called
+// only from the goroutine that owns t.tr (the loop, or newTracked before
+// the loop starts).
 func (t *Tracked) publish() {
 	s := t.tr.Snapshot()
+	if old := t.snap.Load(); old != nil && old.Processed != s.Processed {
+		t.prev.Store(old)
+	}
 	t.snap.Store(&s)
 }
 
@@ -318,7 +356,7 @@ func (r *Registry) DataDir() string {
 // Add builds the tracker described by spec, registers it under name and
 // starts its ingest loop. On a durable registry (SetDataDir) the tracker
 // first recovers its state from disk.
-func (r *Registry) Add(name string, spec Spec) (*Tracked, error) {
+func (r *Registry) Add(name string, spec api.Spec) (*Tracked, error) {
 	if name == "" {
 		return nil, errors.New("server: tracker name must not be empty")
 	}

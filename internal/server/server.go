@@ -12,32 +12,24 @@
 // order is total. A full queue blocks producers — backpressure, not load
 // shedding. After every applied command the loop publishes an immutable
 // sim.Snapshot through an atomic pointer; the GET handlers for seeds,
-// value, window, checkpoints and stats read only that snapshot and
-// therefore never contend with ingestion. Queries that need non-precomputed
-// state (per-user influence sets) run as closures on the ingest loop itself
-// (Tracked.Query), serialized with the writes. Closing a Tracked first
-// rejects new work, then drains everything already queued, then releases
-// the tracker's worker goroutines — the graceful-drain path wired to
-// SIGTERM in cmd/simserve.
+// value, window, checkpoints and stats — and the relational /query endpoint
+// (package query) — read only that snapshot and therefore never contend
+// with ingestion. Queries that need non-precomputed state (per-user
+// influence sets for arbitrary users) run as closures on the ingest loop
+// itself (Tracked.Query), serialized with the writes. Closing a Tracked
+// first rejects new work, then drains everything already queued, then
+// releases the tracker's worker goroutines — the graceful-drain path wired
+// to SIGTERM in cmd/simserve.
+//
+// Name-mode trackers (api.Spec.Names) accept external string user names on
+// ingest, interned to dense IDs (package intern) before the batch enters
+// the queue; reads resolve IDs back through the same table.
 //
 // # HTTP API
 //
-//	POST /v1/trackers/{name}/actions    NDJSON body -> IngestResponse
-//	GET  /v1/trackers                   ListResponse
-//	GET  /v1/trackers/{name}            sim.Snapshot (the full read snapshot)
-//	GET  /v1/trackers/{name}/seeds      SeedsResponse
-//	GET  /v1/trackers/{name}/value      ValueResponse
-//	GET  /v1/trackers/{name}/window     WindowResponse
-//	GET  /v1/trackers/{name}/checkpoints CheckpointsResponse
-//	GET  /v1/trackers/{name}/stats      StatsResponse
-//	GET  /v1/trackers/{name}/influence?user=U InfluenceResponse
-//	GET  /metrics                       text counters (see metrics.go)
-//	GET  /healthz                       "ok"
-//
-// Ingest bodies are NDJSON — one {"id":…,"user":…,"parent":…} object per
-// line, "parent" omitted or -1 for roots (internal/dataio). A bulk body is
-// applied as one batch through sim.Tracker.ProcessAll, riding the batched
-// ingestion path when the tracker's spec sets "batch" > 1.
+// The wire surface — endpoint list, request/response DTOs, the error
+// contract ({"error": ..., "code": ...} on every non-2xx) and a typed
+// client — is package api. This package declares no wire types of its own.
 package server
 
 import (
@@ -50,13 +42,23 @@ import (
 	"strconv"
 	"time"
 
+	"repro/api"
 	"repro/internal/dataio"
+	"repro/query"
 	"repro/sim"
 )
 
 // DefaultMaxBodyBytes caps an ingest request body (64 MiB, roughly 3M
 // NDJSON actions).
 const DefaultMaxBodyBytes = 64 << 20
+
+// DefaultQueryRowLimit caps the rows a /query response returns when the
+// request does not set its own limit. Truncation is reported in the
+// response, never an error.
+const DefaultQueryRowLimit = 10000
+
+// maxQueryBodyBytes caps a /query request body; plans are small.
+const maxQueryBodyBytes = 1 << 20
 
 // Version is the build version reported by GET /v1/healthz and the
 // simserve -version flag. Override at link time:
@@ -79,6 +81,7 @@ type Server struct {
 func New(reg *Registry) *Server {
 	s := &Server{reg: reg, mux: http.NewServeMux(), started: time.Now()}
 	s.mux.HandleFunc("POST /v1/trackers/{name}/actions", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/trackers/{name}/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/trackers", s.handleList)
 	s.mux.HandleFunc("GET /v1/trackers/{name}", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/trackers/{name}/seeds", s.handleSeeds)
@@ -118,7 +121,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if len(degraded) > 0 {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{
+	writeJSON(w, http.StatusOK, api.HealthResponse{
 		Status:        status,
 		Version:       Version,
 		GoVersion:     runtime.Version(),
@@ -147,9 +150,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to recover
 }
 
-// writeError emits an ErrorResponse.
+// writeError emits the api.ErrorResponse envelope: every non-2xx body is
+// {"error": ..., "code": <the HTTP status>}.
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, code, api.ErrorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
 // tracked resolves the {name} path value, answering 404 when unknown.
@@ -164,9 +168,12 @@ func (s *Server) tracked(w http.ResponseWriter, r *http.Request) (*Tracked, bool
 }
 
 // handleIngest parses an NDJSON body and applies it as one batch through
-// the tracker's single-writer loop. Responses: 200 IngestResponse, 400 for
-// malformed NDJSON, 409 for stream-order violations (non-monotonic IDs,
-// future parents), 503 while draining.
+// the tracker's single-writer loop. On name-mode trackers the "user" field
+// is a string name, interned here — concurrently safe — so the loop only
+// ever sees dense IDs. Responses: 200 IngestResponse, 400 for malformed
+// NDJSON (including a numeric user on a name-mode tracker and vice versa),
+// 409 for stream-order violations (non-monotonic IDs, future parents), 413
+// over the body cap, 500 for a WAL append failure, 503 while draining.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	t, ok := s.tracked(w, r)
 	if !ok {
@@ -178,10 +185,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, maxBody)
 	var batch []sim.Action
-	if err := dataio.ReadNDJSON(body, func(a sim.Action) bool {
-		batch = append(batch, a)
-		return true
-	}); err != nil {
+	var err error
+	if tb := t.Names(); tb != nil {
+		err = dataio.ReadNDJSONNamed(body, func(a dataio.NamedAction) bool {
+			batch = append(batch, sim.Action{
+				ID:     a.ID,
+				User:   sim.UserID(tb.Intern(a.User)),
+				Parent: a.Parent,
+			})
+			return true
+		})
+	} else {
+		err = dataio.ReadNDJSON(body, func(a sim.Action) bool {
+			batch = append(batch, a)
+			return true
+		})
+	}
+	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
@@ -192,7 +212,6 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	processed := t.Snapshot().Processed
 	if len(batch) > 0 {
-		var err error
 		processed, err = t.Submit(r.Context(), batch)
 		if err != nil {
 			switch {
@@ -212,20 +231,69 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, IngestResponse{
+	writeJSON(w, http.StatusOK, api.IngestResponse{
 		Accepted:  len(batch),
 		Processed: processed,
 	})
 }
 
+// handleQuery executes a relational plan (package query) against the
+// tracker's published snapshot — and, for window-compare sources, the
+// previously published one. Execution never touches the ingest loop or the
+// live tracker: a query of any cost runs concurrently with ingestion.
+// Responses: 200 QueryResponse, 400 for an undecodable body or a plan that
+// fails compilation (unknown source/op/column, bad comparator).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tracked(w, r)
+	if !ok {
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBodyBytes))
+	dec.DisallowUnknownFields()
+	var req api.QueryRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad query request: %v", err)
+		return
+	}
+	if req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, "bad query request: negative limit %d", req.Limit)
+		return
+	}
+	limit := req.Limit
+	if limit == 0 || limit > DefaultQueryRowLimit {
+		limit = DefaultQueryRowLimit
+	}
+	snap := t.Snapshot()
+	env := query.Env{Current: snap, Previous: t.PrevSnapshot()}
+	if tb := t.Names(); tb != nil {
+		env.Name = tb.Name
+	}
+	rel, err := req.Plan.Open(env)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rows, truncated := query.Collect(rel, limit)
+	if rows == nil {
+		rows = []query.Row{}
+	}
+	writeJSON(w, http.StatusOK, api.QueryResponse{
+		Columns:     []string(rel.Schema()),
+		Rows:        rows,
+		Truncated:   truncated,
+		Processed:   snap.Processed,
+		WindowStart: snap.WindowStart,
+	})
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	resp := ListResponse{Trackers: []TrackerInfo{}}
+	resp := api.ListResponse{Trackers: []api.TrackerInfo{}}
 	for _, name := range s.reg.Names() {
 		t, ok := s.reg.Get(name)
 		if !ok {
 			continue
 		}
-		resp.Trackers = append(resp.Trackers, TrackerInfo{
+		resp.Trackers = append(resp.Trackers, api.TrackerInfo{
 			Name:      name,
 			Spec:      t.Spec(),
 			Processed: t.Snapshot().Processed,
@@ -246,12 +314,19 @@ func (s *Server) handleSeeds(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := t.Snapshot()
-	writeJSON(w, http.StatusOK, SeedsResponse{
+	resp := api.SeedsResponse{
 		Seeds:       snap.Seeds,
 		Value:       snap.Value,
 		WindowStart: snap.WindowStart,
 		Processed:   snap.Processed,
-	})
+	}
+	if tb := t.Names(); tb != nil {
+		resp.Names = make([]string, len(snap.Seeds))
+		for i, u := range snap.Seeds {
+			resp.Names[i], _ = tb.Name(uint32(u))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleValue(w http.ResponseWriter, r *http.Request) {
@@ -260,7 +335,7 @@ func (s *Server) handleValue(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := t.Snapshot()
-	writeJSON(w, http.StatusOK, ValueResponse{Value: snap.Value, Processed: snap.Processed})
+	writeJSON(w, http.StatusOK, api.ValueResponse{Value: snap.Value, Processed: snap.Processed})
 }
 
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
@@ -269,7 +344,7 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := t.Snapshot()
-	writeJSON(w, http.StatusOK, WindowResponse{WindowStart: snap.WindowStart, Processed: snap.Processed})
+	writeJSON(w, http.StatusOK, api.WindowResponse{WindowStart: snap.WindowStart, Processed: snap.Processed})
 }
 
 func (s *Server) handleCheckpoints(w http.ResponseWriter, r *http.Request) {
@@ -278,7 +353,7 @@ func (s *Server) handleCheckpoints(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := t.Snapshot()
-	writeJSON(w, http.StatusOK, CheckpointsResponse{
+	writeJSON(w, http.StatusOK, api.CheckpointsResponse{
 		Checkpoints: snap.Checkpoints,
 		Starts:      snap.CheckpointStarts,
 		Values:      snap.CheckpointValues,
@@ -292,7 +367,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	snap := t.Snapshot()
 	depth, capacity := t.QueueDepth()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	writeJSON(w, http.StatusOK, api.StatsResponse{
 		Stats:              snap.Stats(),
 		CheckpointsCreated: snap.CheckpointsCreated,
 		CheckpointsDeleted: snap.CheckpointsDeleted,
@@ -303,26 +378,41 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleInfluence serves per-user influence sets. Unlike the other reads
 // this needs the live stream index, so it runs as a closure on the ingest
-// loop, serialized after everything already queued.
+// loop, serialized after everything already queued. The user parameter is a
+// decimal ID on numeric trackers and an external name on name-mode ones
+// (404 when the name has never been ingested).
 func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 	t, ok := s.tracked(w, r)
 	if !ok {
 		return
 	}
 	userParam := r.URL.Query().Get("user")
-	u64, err := strconv.ParseUint(userParam, 10, 32)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad or missing user parameter %q", userParam)
-		return
-	}
-	u := sim.UserID(u64)
-	var resp InfluenceResponse
-	qErr := t.Query(r.Context(), func(tr *sim.Tracker) {
-		resp = InfluenceResponse{
-			User:        u,
-			Influenced:  tr.InfluenceSet(u),
-			WindowStart: tr.WindowStart(),
+	var u sim.UserID
+	var resp api.InfluenceResponse
+	if tb := t.Names(); tb != nil {
+		if userParam == "" {
+			writeError(w, http.StatusBadRequest, "missing user parameter")
+			return
 		}
+		id, ok := tb.Lookup(userParam)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown user %q", userParam)
+			return
+		}
+		u = sim.UserID(id)
+		resp.Name = userParam
+	} else {
+		u64, err := strconv.ParseUint(userParam, 10, 32)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad or missing user parameter %q", userParam)
+			return
+		}
+		u = sim.UserID(u64)
+	}
+	qErr := t.Query(r.Context(), func(tr *sim.Tracker) {
+		resp.User = u
+		resp.Influenced = tr.InfluenceSet(u)
+		resp.WindowStart = tr.WindowStart()
 		if resp.Influenced == nil {
 			resp.Influenced = []sim.UserID{}
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -13,9 +14,11 @@ import (
 	"sync"
 	"testing"
 
+	"repro/api"
 	"repro/internal/dataio"
 	"repro/internal/gen"
 	"repro/internal/server"
+	"repro/query"
 	"repro/sim"
 )
 
@@ -24,40 +27,28 @@ func testStream(n int) []sim.Action {
 	return gen.Stream(gen.SynO(300, n, 500, 42))
 }
 
-// ndjsonBody encodes actions as an NDJSON request body.
-func ndjsonBody(t *testing.T, actions []sim.Action) *bytes.Buffer {
+// newTestServer boots a registry with one tracker behind httptest and
+// returns the typed client for it. Cleanup closes both.
+func newTestServer(t *testing.T, spec api.Spec) (*api.Client, *server.Registry) {
 	t.Helper()
-	var buf bytes.Buffer
-	if err := dataio.WriteNDJSON(&buf, actions); err != nil {
+	reg := server.NewRegistry()
+	if _, err := reg.Add("default", spec); err != nil {
 		t.Fatal(err)
 	}
-	return &buf
-}
-
-func mustGetJSON(t *testing.T, url string, v any) {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		t.Fatalf("GET %s: %v", url, err)
-	}
+	srv := httptest.NewServer(server.New(reg))
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { reg.Close() })
+	return api.NewClient(srv.URL), reg
 }
 
 // TestIngestQueryRoundTripIdentity is the end-to-end acceptance test: the
-// same NDJSON stream POSTed in chunks — with GET queries hammering the
-// server concurrently — must leave the served tracker bit-identical to a
-// serial sim.Tracker replay (seeds, value, window start, checkpoint
-// structure). Run under -race this also proves the read path never races
-// the single-writer ingest loop.
+// same NDJSON stream POSTed in chunks through the typed client — with
+// reads, including relational /query plans, hammering the server
+// concurrently — must leave the served tracker bit-identical to a serial
+// sim.Tracker replay. Run under -race this also proves the read path never
+// races the single-writer ingest loop.
 func TestIngestQueryRoundTripIdentity(t *testing.T) {
-	specs := map[string]server.Spec{
+	specs := map[string]api.Spec{
 		"sic-sieve":    {K: 5, Window: 400},
 		"ic-threshold": {K: 5, Window: 400, Framework: sim.IC, Oracle: sim.ThresholdStream},
 		"sic-batched":  {K: 5, Window: 400, Batch: 64, Parallelism: 2},
@@ -65,25 +56,27 @@ func TestIngestQueryRoundTripIdentity(t *testing.T) {
 	actions := testStream(2000)
 	for name, spec := range specs {
 		t.Run(name, func(t *testing.T) {
-			reg := server.NewRegistry()
-			if _, err := reg.Add("default", spec); err != nil {
-				t.Fatal(err)
-			}
-			srv := httptest.NewServer(server.New(reg))
-			defer srv.Close()
-			defer reg.Close()
+			client, _ := newTestServer(t, spec)
+			ctx := context.Background()
 
 			// Concurrent readers for the duration of the ingest.
 			stop := make(chan struct{})
 			var wg sync.WaitGroup
-			for _, path := range []string{
-				"/v1/trackers/default/seeds",
-				"/v1/trackers/default/checkpoints",
-				"/v1/trackers/default/influence?user=1",
-				"/metrics",
-			} {
+			reads := []func() error{
+				func() error { _, err := client.Seeds(ctx, "default"); return err },
+				func() error { _, err := client.Checkpoints(ctx, "default"); return err },
+				func() error { _, err := client.Influence(ctx, "default", "1"); return err },
+				func() error {
+					_, err := client.Query(ctx, "default", api.QueryRequest{Plan: query.Plan{
+						Scan: "seeds",
+						Ops:  []query.Op{{Op: "topk", Col: "influence", K: 3, Desc: true}},
+					}})
+					return err
+				},
+			}
+			for _, read := range reads {
 				wg.Add(1)
-				go func(url string) {
+				go func(read func() error) {
 					defer wg.Done()
 					for {
 						select {
@@ -91,32 +84,20 @@ func TestIngestQueryRoundTripIdentity(t *testing.T) {
 							return
 						default:
 						}
-						resp, err := http.Get(url)
-						if err != nil {
-							t.Errorf("GET %s: %v", url, err)
+						if err := read(); err != nil {
+							t.Error(err)
 							return
 						}
-						io.Copy(io.Discard, resp.Body)
-						resp.Body.Close()
 					}
-				}(srv.URL + path)
+				}(read)
 			}
 
 			// Ingest in NDJSON chunks of 100.
 			for i := 0; i < len(actions); i += 100 {
 				end := min(i+100, len(actions))
-				resp, err := http.Post(srv.URL+"/v1/trackers/default/actions",
-					"application/x-ndjson", ndjsonBody(t, actions[i:end]))
+				ir, err := client.Ingest(ctx, "default", actions[i:end])
 				if err != nil {
-					t.Fatal(err)
-				}
-				var ir server.IngestResponse
-				if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
-					t.Fatal(err)
-				}
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					t.Fatalf("ingest chunk at %d: status %d", i, resp.StatusCode)
+					t.Fatalf("ingest chunk at %d: %v", i, err)
 				}
 				if ir.Accepted != end-i || ir.Processed != int64(end) {
 					t.Fatalf("chunk at %d: accepted=%d processed=%d, want %d/%d",
@@ -143,20 +124,26 @@ func TestIngestQueryRoundTripIdentity(t *testing.T) {
 				want = ref.Snapshot()
 			}
 
-			var got sim.Snapshot
-			mustGetJSON(t, srv.URL+"/v1/trackers/default", &got)
+			got, err := client.Snapshot(ctx, "default")
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !reflect.DeepEqual(got, want) {
 				t.Errorf("served snapshot differs from serial replay:\n got %+v\nwant %+v", got, want)
 			}
 
-			var seeds server.SeedsResponse
-			mustGetJSON(t, srv.URL+"/v1/trackers/default/seeds", &seeds)
+			seeds, err := client.Seeds(ctx, "default")
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !reflect.DeepEqual(seeds.Seeds, want.Seeds) || seeds.Value != want.Value {
 				t.Errorf("seeds endpoint: %+v, want seeds=%v value=%v", seeds, want.Seeds, want.Value)
 			}
 
-			var cps server.CheckpointsResponse
-			mustGetJSON(t, srv.URL+"/v1/trackers/default/checkpoints", &cps)
+			cps, err := client.Checkpoints(ctx, "default")
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !reflect.DeepEqual(cps.Starts, want.CheckpointStarts) ||
 				!reflect.DeepEqual(cps.Values, want.CheckpointValues) {
 				t.Errorf("checkpoints endpoint: %+v, want starts=%v values=%v",
@@ -166,14 +153,203 @@ func TestIngestQueryRoundTripIdentity(t *testing.T) {
 			// Influence endpoint vs the reference tracker, for a seed user.
 			if len(want.Seeds) > 0 {
 				u := want.Seeds[0]
-				var inf server.InfluenceResponse
-				mustGetJSON(t, fmt.Sprintf("%s/v1/trackers/default/influence?user=%d", srv.URL, u), &inf)
+				inf, err := client.Influence(ctx, "default", fmt.Sprint(u))
+				if err != nil {
+					t.Fatal(err)
+				}
 				wantSet := ref.InfluenceSet(u)
 				if !reflect.DeepEqual(inf.Influenced, wantSet) || inf.Count != len(wantSet) {
 					t.Errorf("influence(%d) = %+v, want %v", u, inf, wantSet)
 				}
 			}
+
+			// A served query plan vs the same plan run locally against the
+			// snapshot the server just handed back: bit-identical rows.
+			plan := query.Plan{Scan: "seeds", Ops: []query.Op{
+				{Op: "topk", Col: "influence", K: 3, Desc: true},
+				{Op: "project", Cols: []string{"user", "influence"}},
+			}}
+			res, err := client.Query(ctx, "default", api.QueryRequest{Plan: plan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSchema, wantRows, err := plan.Materialize(query.Env{Current: &got})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Columns, []string(wantSchema)) {
+				t.Errorf("query columns = %v, want %v", res.Columns, wantSchema)
+			}
+			if len(res.Rows) != len(wantRows) {
+				t.Fatalf("query rows = %d, want %d", len(res.Rows), len(wantRows))
+			}
+			for i := range wantRows {
+				if !reflect.DeepEqual(res.Rows[i], wantRows[i]) {
+					t.Errorf("query row %d = %v, want %v", i, res.Rows[i], wantRows[i])
+				}
+			}
+			if res.Processed != want.Processed {
+				t.Errorf("query processed = %d, want %d", res.Processed, want.Processed)
+			}
 		})
+	}
+}
+
+// TestQueryBlockedLoopIndependence is the HTAP-split proof: /query must
+// answer even while the single-writer ingest loop is wedged, because plan
+// execution reads only the atomically published snapshot. A closure parked
+// on the loop simulates the wedge; influence (which DOES ride the loop)
+// would block here, /query must not.
+func TestQueryBlockedLoopIndependence(t *testing.T) {
+	client, reg := newTestServer(t, api.Spec{K: 3, Window: 200})
+	ctx := context.Background()
+	if _, err := client.Ingest(ctx, "default", testStream(500)); err != nil {
+		t.Fatal(err)
+	}
+
+	tk, _ := reg.Get("default")
+	release := make(chan struct{})
+	parked := make(chan struct{})
+	loopDone := make(chan error, 1)
+	go func() {
+		loopDone <- tk.Query(context.Background(), func(*sim.Tracker) {
+			close(parked)
+			<-release
+		})
+	}()
+	<-parked // the ingest loop is now blocked inside the closure
+
+	res, err := client.Query(ctx, "default", api.QueryRequest{Plan: query.Plan{
+		Scan: "seeds",
+		Ops:  []query.Op{{Op: "topk", Col: "influence", K: 3, Desc: true}},
+	}})
+	if err != nil {
+		t.Fatalf("query with a blocked ingest loop: %v", err)
+	}
+	if len(res.Rows) == 0 || res.Processed != 500 {
+		t.Fatalf("query under blocked loop: %d rows, processed=%d", len(res.Rows), res.Processed)
+	}
+	close(release)
+	if err := <-loopDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryIngestHammer runs sustained concurrent ingest and query load
+// (under -race) and checks every query observes a consistent snapshot:
+// Processed never goes backwards across successive responses on one
+// goroutine, and rows always match the schema width.
+func TestQueryIngestHammer(t *testing.T) {
+	client, _ := newTestServer(t, api.Spec{K: 5, Window: 400})
+	ctx := context.Background()
+	actions := testStream(4000)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for q := 0; q < 3; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastProcessed int64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := client.Query(ctx, "default", api.QueryRequest{Plan: query.Plan{
+					Scan: "influence",
+					Ops: []query.Op{
+						{Op: "filter", Col: "seed", Cmp: ">=", Value: intVal(0)},
+						{Op: "topk", Col: "user", K: 5, Desc: true},
+					},
+				}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Processed < lastProcessed {
+					t.Errorf("query processed went backwards: %d after %d", res.Processed, lastProcessed)
+					return
+				}
+				lastProcessed = res.Processed
+				for _, row := range res.Rows {
+					if len(row) != len(res.Columns) {
+						t.Errorf("row width %d vs %d columns", len(row), len(res.Columns))
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < len(actions); i += 200 {
+		if _, err := client.Ingest(ctx, "default", actions[i:min(i+200, len(actions))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func intVal(v int64) *query.Value {
+	x := query.IntValue(v)
+	return &x
+}
+
+// TestQueryEndpointShapes covers the request surface of /query: limits and
+// truncation, window-compare sources, and the 400 contract for bad plans.
+func TestQueryEndpointShapes(t *testing.T) {
+	client, _ := newTestServer(t, api.Spec{K: 5, Window: 400})
+	ctx := context.Background()
+	actions := testStream(1500)
+	// Two chunks so a previous snapshot exists for compare sources.
+	if _, err := client.Ingest(ctx, "default", actions[:1000]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Ingest(ctx, "default", actions[1000:]); err != nil {
+		t.Fatal(err)
+	}
+
+	// limit + truncated: the influence scan has many rows; cap at 3.
+	res, err := client.Query(ctx, "default", api.QueryRequest{
+		Plan:  query.Plan{Scan: "influence"},
+		Limit: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || !res.Truncated {
+		t.Errorf("limited query: %d rows truncated=%v, want 3/true", len(res.Rows), res.Truncated)
+	}
+
+	// Window compare runs off the previous published snapshot.
+	res, err = client.Query(ctx, "default", api.QueryRequest{
+		Plan: query.Plan{Compare: "checkpoints"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := []string{"start", "status", "value_old", "value_new", "delta"}
+	if !reflect.DeepEqual(res.Columns, wantCols) {
+		t.Errorf("compare columns = %v, want %v", res.Columns, wantCols)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("checkpoint compare returned no rows")
+	}
+
+	// Bad plans and bad requests are 400s through the typed error.
+	for name, req := range map[string]api.QueryRequest{
+		"unknown scan":   {Plan: query.Plan{Scan: "bogus"}},
+		"unknown op":     {Plan: query.Plan{Scan: "seeds", Ops: []query.Op{{Op: "frobnicate"}}}},
+		"unknown column": {Plan: query.Plan{Scan: "seeds", Ops: []query.Op{{Op: "topk", Col: "nope", K: 1}}}},
+		"negative limit": {Plan: query.Plan{Scan: "seeds"}, Limit: -1},
+		"empty plan":     {},
+	} {
+		_, err := client.Query(ctx, "default", req)
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.Code != http.StatusBadRequest {
+			t.Errorf("%s: err = %v, want *api.Error with 400", name, err)
+		}
 	}
 }
 
@@ -182,7 +358,7 @@ func TestIngestQueryRoundTripIdentity(t *testing.T) {
 // returns, and the drained state must match a serial replay.
 func TestShutdownDrainsQueue(t *testing.T) {
 	reg := server.NewRegistry()
-	tk, err := reg.Add("default", server.Spec{K: 5, Window: 400, Queue: 128})
+	tk, err := reg.Add("default", api.Spec{K: 5, Window: 400, Queue: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +377,7 @@ func TestShutdownDrainsQueue(t *testing.T) {
 	if snap.Processed != int64(len(actions)) {
 		t.Fatalf("drained %d actions, want %d", snap.Processed, len(actions))
 	}
-	ref, err := sim.New(server.Spec{K: 5, Window: 400}.Config())
+	ref, err := sim.New(api.Spec{K: 5, Window: 400}.Config())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,86 +401,258 @@ func TestShutdownDrainsQueue(t *testing.T) {
 	}
 }
 
-// TestHTTPErrorPaths exercises the API's failure contract.
-func TestHTTPErrorPaths(t *testing.T) {
+// TestErrorContract is the error-contract table of ISSUE 6: every non-2xx
+// response carries the JSON envelope {"error": ..., "code": <status>}, with
+// the documented status per failure class.
+func TestErrorContract(t *testing.T) {
 	reg := server.NewRegistry()
-	if _, err := reg.Add("default", server.Spec{K: 2, Window: 100}); err != nil {
+	if _, err := reg.Add("default", api.Spec{K: 2, Window: 100}); err != nil {
+		t.Fatal(err)
+	}
+	handler := server.New(reg)
+	handler.MaxBodyBytes = 1 << 10 // make 413 reachable with a small body
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	// Seed one action so a duplicate-ID replay conflicts below.
+	if resp, err := http.Post(srv.URL+"/v1/trackers/default/actions",
+		"application/x-ndjson", strings.NewReader(`{"id":5,"user":1}`+"\n")); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("setup ingest: %v %v", err, resp.Status)
+	}
+
+	bigBody := strings.Repeat(`{"id":9,"user":1}`+"\n", 200) // > 1 KiB
+
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		body     string
+		wantCode int
+	}{
+		{"unknown tracker read", "GET", "/v1/trackers/nope/seeds", "", 404},
+		{"unknown tracker ingest", "POST", "/v1/trackers/nope/actions", `{"id":1,"user":1}` + "\n", 404},
+		{"unknown tracker query", "POST", "/v1/trackers/nope/query", `{"plan":{"scan":"seeds"}}`, 404},
+		{"malformed ndjson", "POST", "/v1/trackers/default/actions", "{oops}\n", 400},
+		{"named action on numeric tracker", "POST", "/v1/trackers/default/actions", `{"id":9,"user":"alice"}` + "\n", 400},
+		{"bad user param", "GET", "/v1/trackers/default/influence?user=bogus", "", 400},
+		{"missing user param", "GET", "/v1/trackers/default/influence", "", 400},
+		{"non-monotonic id", "POST", "/v1/trackers/default/actions", `{"id":5,"user":1}` + "\n", 409},
+		{"oversized ingest body", "POST", "/v1/trackers/default/actions", bigBody, 413},
+		{"undecodable query body", "POST", "/v1/trackers/default/query", "not json", 400},
+		{"unknown query field", "POST", "/v1/trackers/default/query", `{"plam":{}}`, 400},
+		{"bad plan", "POST", "/v1/trackers/default/query", `{"plan":{"scan":"bogus"}}`, 400},
+	}
+	check := func(t *testing.T, resp *http.Response, wantCode int) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("status = %d, want %d", resp.StatusCode, wantCode)
+		}
+		var er api.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+			t.Fatalf("non-2xx body is not the error envelope: %v", err)
+		}
+		if er.Error == "" || er.Code != wantCode {
+			t.Fatalf("envelope = %+v, want non-empty error with code %d", er, wantCode)
+		}
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var resp *http.Response
+			var err error
+			switch c.method {
+			case "GET":
+				resp, err = http.Get(srv.URL + c.path)
+			default:
+				ct := "application/x-ndjson"
+				if strings.HasSuffix(c.path, "/query") {
+					ct = "application/json"
+				}
+				resp, err = http.Post(srv.URL+c.path, ct, strings.NewReader(c.body))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, resp, c.wantCode)
+		})
+	}
+
+	// 503 while draining: close the registry under the live listener.
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/trackers/default/actions",
+		"application/x-ndjson", strings.NewReader(`{"id":6,"user":1}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, resp, 503)
+
+	// The typed client surfaces the same contract as *api.Error.
+	client := api.NewClient(srv.URL)
+	_, err = client.Seeds(context.Background(), "nope")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != 404 ||
+		!strings.Contains(apiErr.Error(), "unknown tracker") {
+		t.Errorf("client error = %v, want *api.Error 404 mentioning the tracker", err)
+	}
+}
+
+// TestNamesMode exercises a name-mode tracker end to end: named NDJSON in,
+// names on seeds and influence out, the names query operator, and strict
+// mode exclusivity at the wire.
+func TestNamesMode(t *testing.T) {
+	client, _ := newTestServer(t, api.Spec{K: 2, Window: 64, Names: true})
+	ctx := context.Background()
+
+	// The paper's Figure 1 cascade, with names instead of raw IDs.
+	np := sim.NoParent
+	batch := []api.NamedAction{
+		{ID: 1, User: "alice", Parent: np},
+		{ID: 2, User: "bob", Parent: 1},
+		{ID: 3, User: "carol", Parent: np},
+		{ID: 4, User: "carol", Parent: 1},
+		{ID: 5, User: "dave", Parent: 3},
+		{ID: 6, User: "alice", Parent: 3},
+		{ID: 7, User: "erin", Parent: 3},
+		{ID: 8, User: "dave", Parent: 7},
+	}
+	ir, err := client.IngestNamed(ctx, "default", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 8 || ir.Processed != 8 {
+		t.Fatalf("named ingest: %+v", ir)
+	}
+
+	seeds, err := client.Seeds(ctx, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interning is first-appearance dense: alice=0, bob=1, carol=2, ...
+	if !reflect.DeepEqual(seeds.Seeds, []sim.UserID{0, 2}) ||
+		!reflect.DeepEqual(seeds.Names, []string{"alice", "carol"}) {
+		t.Fatalf("seeds = %+v, want users [0 2] named [alice carol]", seeds)
+	}
+
+	inf, err := client.Influence(ctx, "default", "carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Name != "carol" || inf.Count == 0 {
+		t.Errorf("influence(carol) = %+v", inf)
+	}
+	if _, err := client.Influence(ctx, "default", "mallory"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown name: err = %v, want 404", err)
+	}
+
+	// The names operator resolves the dense user column back to names.
+	res, err := client.Query(ctx, "default", api.QueryRequest{Plan: query.Plan{
+		Scan: "seeds",
+		Ops: []query.Op{
+			{Op: "names", Cols: []string{"user"}},
+			{Op: "project", Cols: []string{"user"}},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, row := range res.Rows {
+		got = append(got, row[0].Str())
+	}
+	if !reflect.DeepEqual(got, []string{"alice", "carol"}) {
+		t.Errorf("names query = %v, want [alice carol]", got)
+	}
+
+	// Mode exclusivity: numeric users on a name-mode tracker are a 400.
+	_, err = client.Ingest(ctx, "default", []sim.Action{{ID: 9, User: 1, Parent: np}})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != 400 {
+		t.Errorf("numeric ingest on name-mode tracker: %v, want 400", err)
+	}
+}
+
+// TestNamesDurableRecovery round-trips the intern table through names.log:
+// a durable name-mode tracker must come back resolving the same names to
+// the same dense IDs, both for lookups and for continued ingest.
+func TestNamesDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	spec := api.Spec{K: 2, Window: 64, Names: true}
+	ctx := context.Background()
+	np := sim.NoParent
+
+	reg := server.NewRegistry()
+	reg.SetDataDir(dir)
+	if _, err := reg.Add("t", spec); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(server.New(reg))
-	defer srv.Close()
-	defer reg.Close()
-
-	post := func(path, body string) *http.Response {
-		resp, err := http.Post(srv.URL+path, "application/x-ndjson", strings.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { resp.Body.Close() })
-		return resp
+	client := api.NewClient(srv.URL)
+	if _, err := client.IngestNamed(ctx, "t", []api.NamedAction{
+		{ID: 1, User: "alice", Parent: np},
+		{ID: 2, User: "bob", Parent: 1},
+		{ID: 3, User: "carol", Parent: 1},
+	}); err != nil {
+		t.Fatal(err)
 	}
-	get := func(path string) *http.Response {
-		resp, err := http.Get(srv.URL + path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { resp.Body.Close() })
-		return resp
+	wantInf, err := client.Influence(ctx, "t", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
 	}
 
-	if resp := get("/v1/trackers/nope/seeds"); resp.StatusCode != http.StatusNotFound {
-		t.Errorf("unknown tracker: status %d, want 404", resp.StatusCode)
+	reg2 := server.NewRegistry()
+	reg2.SetDataDir(dir)
+	if _, err := reg2.Add("t", spec); err != nil {
+		t.Fatalf("recovery Add: %v", err)
 	}
-	if resp := post("/v1/trackers/default/actions", "{oops}\n"); resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("malformed NDJSON: status %d, want 400", resp.StatusCode)
+	defer reg2.Close()
+	srv2 := httptest.NewServer(server.New(reg2))
+	defer srv2.Close()
+	client2 := api.NewClient(srv2.URL)
+
+	inf, err := client2.Influence(ctx, "t", "alice")
+	if err != nil {
+		t.Fatalf("influence by name after recovery: %v", err)
 	}
-	if resp := get("/v1/trackers/default/influence?user=bogus"); resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("bad user param: status %d, want 400", resp.StatusCode)
+	if !reflect.DeepEqual(inf, wantInf) {
+		t.Errorf("recovered influence(alice) = %+v, want %+v", inf, wantInf)
 	}
-	if resp := get("/v1/trackers/default/influence"); resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("missing user param: status %d, want 400", resp.StatusCode)
+	// Continued ingest: an existing name keeps its ID, a new one extends.
+	if _, err := client2.IngestNamed(ctx, "t", []api.NamedAction{
+		{ID: 4, User: "dave", Parent: 3},
+		{ID: 5, User: "alice", Parent: 4},
+	}); err != nil {
+		t.Fatal(err)
 	}
-	// Out-of-order IDs: first batch applies, replay of the same IDs conflicts.
-	if resp := post("/v1/trackers/default/actions", `{"id":5,"user":1}`+"\n"); resp.StatusCode != http.StatusOK {
-		t.Fatalf("first ingest: status %d", resp.StatusCode)
+	seeds, err := client2.Seeds(ctx, "t")
+	if err != nil {
+		t.Fatal(err)
 	}
-	resp := post("/v1/trackers/default/actions", `{"id":5,"user":1}`+"\n")
-	if resp.StatusCode != http.StatusConflict {
-		t.Errorf("non-monotonic ID: status %d, want 409", resp.StatusCode)
+	if len(seeds.Names) != len(seeds.Seeds) {
+		t.Fatalf("seeds names out of step: %+v", seeds)
 	}
-	var er server.ErrorResponse
-	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == "" {
-		t.Errorf("conflict body not an ErrorResponse: %v %+v", err, er)
-	}
-	// Method mismatch on a registered pattern.
-	if resp := get("/v1/trackers/default/actions"); resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET on ingest: status %d, want 405", resp.StatusCode)
-	}
-	// Empty body is a no-op ingest.
-	if resp := post("/v1/trackers/default/actions", ""); resp.StatusCode != http.StatusOK {
-		t.Errorf("empty ingest: status %d, want 200", resp.StatusCode)
+	for i, n := range seeds.Names {
+		if n == "" {
+			t.Errorf("seed %d (user %d) has no recovered name", i, seeds.Seeds[i])
+		}
 	}
 }
 
 // TestMetricsAndList checks the operational endpoints.
 func TestMetricsAndList(t *testing.T) {
-	reg := server.NewRegistry()
-	if _, err := reg.Add("default", server.Spec{K: 2, Window: 100}); err != nil {
+	client, _ := newTestServer(t, api.Spec{K: 2, Window: 100})
+	ctx := context.Background()
+	if _, err := client.Ingest(ctx, "default", testStream(100)); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(server.New(reg))
-	defer srv.Close()
-	defer reg.Close()
 
-	resp, err := http.Post(srv.URL+"/v1/trackers/default/actions", "application/x-ndjson",
-		ndjsonBody(t, testStream(100)))
-	if err != nil {
-		t.Fatal(err)
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-
-	mresp, err := http.Get(srv.URL + "/metrics")
+	mresp, err := http.Get(client.BaseURL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,14 +670,24 @@ func TestMetricsAndList(t *testing.T) {
 		}
 	}
 
-	var list server.ListResponse
-	mustGetJSON(t, srv.URL+"/v1/trackers", &list)
+	list, err := client.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(list.Trackers) != 1 || list.Trackers[0].Name != "default" ||
 		list.Trackers[0].Processed != 100 || list.Trackers[0].Spec.K != 2 {
 		t.Errorf("list = %+v", list)
 	}
 
-	hresp, err := http.Get(srv.URL + "/healthz")
+	health, err := client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" {
+		t.Errorf("health = %+v", health)
+	}
+
+	hresp, err := http.Get(client.BaseURL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,48 +698,19 @@ func TestMetricsAndList(t *testing.T) {
 	}
 }
 
-// TestReadSpecs checks spec-file parsing, including failure on typos.
-func TestReadSpecs(t *testing.T) {
-	specs, err := server.ReadSpecs(strings.NewReader(
-		`{"trackers": {"a": {"k": 3, "window": 100, "framework": "ic", "oracle": "threshold"},
-		               "b": {"k": 1, "window": 50, "batch": 10, "queue": 7}}}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(specs) != 2 {
-		t.Fatalf("want 2 specs, got %d", len(specs))
-	}
-	a := specs["a"]
-	if a.K != 3 || a.Window != 100 || a.Framework != sim.IC || a.Oracle != sim.ThresholdStream {
-		t.Errorf("spec a = %+v", a)
-	}
-	if b := specs["b"]; b.Batch != 10 || b.Queue != 7 {
-		t.Errorf("spec b = %+v", b)
-	}
-	if _, err := server.ReadSpecs(strings.NewReader(`{"trackers": {"a": {"k": 3, "windoww": 9}}}`)); err == nil {
-		t.Error("typo in spec field should fail")
-	}
-	if _, err := server.ReadSpecs(strings.NewReader(`{"trackers": {}}`)); err == nil {
-		t.Error("empty spec should fail")
-	}
-	if _, err := server.ReadSpecs(strings.NewReader(`{"trackers": {"a": {"k": 3, "window": 10, "oracle": "bogus"}}}`)); err == nil {
-		t.Error("unknown oracle name should fail")
-	}
-}
-
 // TestRegistryAdd covers registry-level validation.
 func TestRegistryAdd(t *testing.T) {
 	reg := server.NewRegistry()
-	if _, err := reg.Add("", server.Spec{K: 1, Window: 10}); err == nil {
+	if _, err := reg.Add("", api.Spec{K: 1, Window: 10}); err == nil {
 		t.Error("empty name should fail")
 	}
-	if _, err := reg.Add("a", server.Spec{K: 0, Window: 10}); err == nil {
+	if _, err := reg.Add("a", api.Spec{K: 0, Window: 10}); err == nil {
 		t.Error("invalid sim config should fail")
 	}
-	if _, err := reg.Add("a", server.Spec{K: 1, Window: 10}); err != nil {
+	if _, err := reg.Add("a", api.Spec{K: 1, Window: 10}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reg.Add("a", server.Spec{K: 1, Window: 10}); err == nil {
+	if _, err := reg.Add("a", api.Spec{K: 1, Window: 10}); err == nil {
 		t.Error("duplicate name should fail")
 	}
 	if got := reg.Names(); !reflect.DeepEqual(got, []string{"a"}) {
@@ -389,5 +718,47 @@ func TestRegistryAdd(t *testing.T) {
 	}
 	if err := reg.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ndjsonBody encodes actions as an NDJSON request body (raw-wire tests).
+func ndjsonBody(t *testing.T, actions []sim.Action) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := dataio.WriteNDJSON(&buf, actions); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestRawWireCompatibility pins the documented curl-level wire format: the
+// same NDJSON bytes and JSON plan a shell client would send, no api.Client.
+func TestRawWireCompatibility(t *testing.T) {
+	client, _ := newTestServer(t, api.Spec{K: 2, Window: 100})
+	resp, err := http.Post(client.BaseURL+"/v1/trackers/default/actions",
+		"application/x-ndjson", ndjsonBody(t, testStream(50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("raw ingest: %d", resp.StatusCode)
+	}
+	qresp, err := http.Post(client.BaseURL+"/v1/trackers/default/query", "application/json",
+		strings.NewReader(`{"plan":{"scan":"seeds","ops":[{"op":"topk","col":"influence","k":1,"desc":true}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qresp.Body.Close()
+	if qresp.StatusCode != 200 {
+		body, _ := io.ReadAll(qresp.Body)
+		t.Fatalf("raw query: %d: %s", qresp.StatusCode, body)
+	}
+	var qr api.QueryResponse
+	if err := json.NewDecoder(qresp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 1 || qr.Processed != 50 {
+		t.Errorf("raw query response: %+v", qr)
 	}
 }

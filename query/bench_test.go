@@ -1,0 +1,137 @@
+package query
+
+import (
+	"testing"
+
+	"repro/sim"
+)
+
+// syntheticSnapshot builds a snapshot with seeds seed users, each
+// influencing fan users — seeds*fan rows through ScanInfluence — without
+// running a tracker, so benchmarks control input size exactly.
+func syntheticSnapshot(seeds, fan int) *sim.Snapshot {
+	s := &sim.Snapshot{
+		Seeds:         make([]sim.UserID, seeds),
+		SeedInfluence: make([]sim.SeedInfluence, seeds),
+	}
+	next := sim.UserID(seeds)
+	for i := 0; i < seeds; i++ {
+		s.Seeds[i] = sim.UserID(i)
+		infl := make([]sim.UserID, fan)
+		for j := range infl {
+			infl[j] = next
+			next++
+		}
+		s.SeedInfluence[i] = sim.SeedInfluence{User: sim.UserID(i), Influenced: infl}
+	}
+	return s
+}
+
+// topkPipeline is the benchmarked shape: scan all influence rows, keep the
+// k largest user IDs. Returns the number of rows that flowed out.
+func topkPipeline(snap *sim.Snapshot, k int) int {
+	rel, err := (&Plan{
+		Scan: "influence",
+		Ops:  []Op{{Op: "topk", Col: "user", K: k, Desc: true}},
+	}).Open(Env{Current: snap})
+	if err != nil {
+		panic(err)
+	}
+	n := 0
+	for {
+		if _, ok := rel.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// TestTopKAllocsBounded pins the O(k) allocation claim: the scan→topk
+// pipeline's allocations are identical at 2 000 and 200 000 input rows.
+// Laziness is what makes this hold — the eager reference evaluator's cost
+// necessarily grows with the input (see BenchmarkQueryTopK).
+func TestTopKAllocsBounded(t *testing.T) {
+	const k = 10
+	small := syntheticSnapshot(20, 100)   // 2 000 influence rows
+	large := syntheticSnapshot(200, 1000) // 200 000 influence rows
+	allocsAt := func(snap *sim.Snapshot) float64 {
+		return testing.AllocsPerRun(10, func() {
+			if n := topkPipeline(snap, k); n != k {
+				t.Fatalf("pipeline yielded %d rows, want %d", n, k)
+			}
+		})
+	}
+	smallAllocs, largeAllocs := allocsAt(small), allocsAt(large)
+	if largeAllocs != smallAllocs {
+		t.Errorf("allocs grew with input size: %.0f at 2k rows, %.0f at 200k rows", smallAllocs, largeAllocs)
+	}
+	// The absolute bound: pipeline construction + k cloned heap rows + a
+	// scratch row + the sort. Anything above 8*k signals a regression on
+	// the zero-allocation replace path.
+	if largeAllocs > 8*k {
+		t.Errorf("pipeline allocates %.0f times for k=%d; want O(k), <= %d", largeAllocs, k, 8*k)
+	}
+}
+
+// BenchmarkQueryTopK compares the lazy pipeline against the eager reference
+// evaluator on the same scan→topk plan at 100k input rows. The lazy side's
+// allocs/op stays flat in input size (see TestTopKAllocsBounded); the eager
+// side materializes every scanned row first.
+func BenchmarkQueryTopK(b *testing.B) {
+	snap := syntheticSnapshot(100, 1000) // 100 000 influence rows
+	plan := &Plan{
+		Scan: "influence",
+		Ops:  []Op{{Op: "topk", Col: "user", K: 10, Desc: true}},
+	}
+	env := Env{Current: snap}
+	b.Run("lazy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if n := topkPipeline(snap, 10); n != 10 {
+				b.Fatal("bad row count")
+			}
+		}
+	})
+	b.Run("materialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, rows, err := plan.Materialize(env)
+			if err != nil || len(rows) != 10 {
+				b.Fatalf("rows=%d err=%v", len(rows), err)
+			}
+		}
+	})
+}
+
+// BenchmarkQueryJoin measures the join-heavy plan shape the serving docs
+// advertise: influence ⋈ seeds, filtered and cut to the top 5.
+func BenchmarkQueryJoin(b *testing.B) {
+	snap := syntheticSnapshot(50, 400) // 20 000 influence rows
+	v := IntValue(int64(50))
+	plan := &Plan{
+		Scan: "influence",
+		Ops: []Op{
+			{Op: "join", On: "seed", Right: &Plan{Scan: "seeds"}, RightOn: "user"},
+			{Op: "filter", Col: "user", Cmp: ">=", Value: &v},
+			{Op: "topk", Col: "user", K: 5, Desc: true},
+		},
+	}
+	env := Env{Current: snap}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rel, err := plan.Open(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, ok := rel.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != 5 {
+			b.Fatalf("got %d rows", n)
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Lazy operators. Each wraps an input Relation and pulls from it on demand;
+// none materializes its input (Join materializes only its build side, TopK
+// only its k-row heap).
+
+type filterRel struct {
+	in   Relation
+	pred func(Row) bool
+}
+
+// Filter yields the input rows for which pred returns true. The predicate
+// must not retain the row it is given.
+func Filter(in Relation, pred func(Row) bool) Relation {
+	return &filterRel{in: in, pred: pred}
+}
+
+func (f *filterRel) Schema() Schema { return f.in.Schema() }
+
+func (f *filterRel) Next() (Row, bool) {
+	for {
+		r, ok := f.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if f.pred(r) {
+			return r, true
+		}
+	}
+}
+
+type projectRel struct {
+	in  Relation
+	idx []int
+	out Schema
+	row Row
+}
+
+// Project narrows and reorders columns. Unknown column names are an error.
+func Project(in Relation, cols []string) (Relation, error) {
+	s := in.Schema()
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := s.Col(c)
+		if j < 0 {
+			return nil, fmt.Errorf("query: project: unknown column %q (have %v)", c, []string(s))
+		}
+		idx[i] = j
+	}
+	return &projectRel{
+		in:  in,
+		idx: idx,
+		out: Schema(cols).clone(),
+		row: make(Row, len(cols)),
+	}, nil
+}
+
+func (p *projectRel) Schema() Schema { return p.out }
+
+func (p *projectRel) Next() (Row, bool) {
+	r, ok := p.in.Next()
+	if !ok {
+		return nil, false
+	}
+	for i, j := range p.idx {
+		p.row[i] = r[j]
+	}
+	return p.row, true
+}
+
+type joinRel struct {
+	left     Relation
+	right    Relation
+	leftCol  int
+	rightCol int
+	out      Schema
+	row      Row
+
+	built   bool
+	build   map[Value][]Row // right rows grouped by canonical join key
+	curLeft Row             // current left row; valid until we pull left again
+	matches []Row           // right rows matching curLeft
+	mi      int
+}
+
+// Join equi-joins left and right on the named columns (hash join: the right
+// side is drained into an in-memory table on first Next, the left side
+// streams). Output columns are left's followed by right's minus its join
+// column; a right column whose name collides with a left column is
+// prefixed "right_". Output order is left order, with each left row's
+// matches in right-input order.
+func Join(left, right Relation, leftOn, rightOn string) (Relation, error) {
+	ls, rs := left.Schema(), right.Schema()
+	lc := ls.Col(leftOn)
+	if lc < 0 {
+		return nil, fmt.Errorf("query: join: unknown left column %q (have %v)", leftOn, []string(ls))
+	}
+	rc := rs.Col(rightOn)
+	if rc < 0 {
+		return nil, fmt.Errorf("query: join: unknown right column %q (have %v)", rightOn, []string(rs))
+	}
+	out := ls.clone()
+	for i, c := range rs {
+		if i == rc {
+			continue
+		}
+		if out.Col(c) >= 0 {
+			c = "right_" + c
+		}
+		out = append(out, c)
+	}
+	return &joinRel{
+		left:     left,
+		right:    right,
+		leftCol:  lc,
+		rightCol: rc,
+		out:      out,
+		row:      make(Row, len(out)),
+	}, nil
+}
+
+func (j *joinRel) Schema() Schema { return j.out }
+
+func (j *joinRel) buildTable() {
+	j.build = make(map[Value][]Row)
+	for {
+		r, ok := j.right.Next()
+		if !ok {
+			break
+		}
+		k := r[j.rightCol].key()
+		j.build[k] = append(j.build[k], r.Clone())
+	}
+	j.built = true
+}
+
+func (j *joinRel) Next() (Row, bool) {
+	if !j.built {
+		j.buildTable()
+	}
+	for {
+		if j.mi < len(j.matches) {
+			m := j.matches[j.mi]
+			j.mi++
+			n := copy(j.row, j.curLeft)
+			for i, v := range m {
+				if i == j.rightCol {
+					continue
+				}
+				j.row[n] = v
+				n++
+			}
+			return j.row, true
+		}
+		l, ok := j.left.Next()
+		if !ok {
+			return nil, false
+		}
+		// l stays valid until the next left.Next call, which only happens
+		// after its matches are exhausted — no copy needed.
+		j.curLeft = l
+		j.matches = j.build[l[j.leftCol].key()]
+		j.mi = 0
+	}
+}
+
+type topkRel struct {
+	in   Relation
+	col  int
+	k    int
+	desc bool
+
+	done    bool
+	heap    []Row // binary heap; heap[0] is the worst kept row
+	scratch Row   // candidate buffer for the replace phase
+	out     []Row
+	i       int
+}
+
+// TopK yields the k rows with the extreme values of the named column —
+// largest when desc is true, smallest otherwise — in sorted output order.
+// It drains its input through a bounded k-row heap, so it allocates O(k)
+// rows no matter how many rows flow in, and never materializes the input.
+// Ties are broken toward earlier input rows (the ordering is stable).
+func TopK(in Relation, col string, k int, desc bool) (Relation, error) {
+	c := in.Schema().Col(col)
+	if c < 0 {
+		return nil, fmt.Errorf("query: topk: unknown column %q (have %v)", col, []string(in.Schema()))
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("query: topk: k must be positive, got %d", k)
+	}
+	return &topkRel{in: in, col: c, k: k, desc: desc}, nil
+}
+
+func (t *topkRel) Schema() Schema { return t.in.Schema() }
+
+// Heap rows carry their input sequence number appended as one trailing Int
+// cell while inside the heap, so ties resolve toward earlier input rows.
+
+// worse reports whether a should be evicted before b: a's key is further
+// from the kept extreme, or on equal keys a arrived later.
+func (t *topkRel) worse(a, b Row) bool {
+	c := a[t.col].Compare(b[t.col])
+	if c != 0 {
+		if t.desc {
+			return c < 0
+		}
+		return c > 0
+	}
+	return a[len(a)-1].Int() > b[len(b)-1].Int()
+}
+
+func (t *topkRel) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && t.worse(t.heap[l], t.heap[m]) {
+			m = l
+		}
+		if r < n && t.worse(t.heap[r], t.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		t.heap[i], t.heap[m] = t.heap[m], t.heap[i]
+		i = m
+	}
+}
+
+func (t *topkRel) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.worse(t.heap[i], t.heap[p]) {
+			return
+		}
+		t.heap[i], t.heap[p] = t.heap[p], t.heap[i]
+		i = p
+	}
+}
+
+func (t *topkRel) drain() {
+	width := len(t.in.Schema())
+	t.scratch = make(Row, width+1)
+	var seq int64
+	for {
+		r, ok := t.in.Next()
+		if !ok {
+			break
+		}
+		if len(t.heap) < t.k {
+			// Grow phase: one clone per kept row, with room for the seq tag.
+			kept := make(Row, width+1)
+			copy(kept, r)
+			kept[width] = IntValue(seq)
+			t.heap = append(t.heap, kept)
+			t.siftUp(len(t.heap) - 1)
+		} else {
+			// Replace phase: compare via the reused scratch buffer and
+			// overwrite the evicted row in place — zero allocations.
+			copy(t.scratch, r)
+			t.scratch[width] = IntValue(seq)
+			if t.worse(t.heap[0], t.scratch) {
+				copy(t.heap[0], t.scratch)
+				t.siftDown(0)
+			}
+		}
+		seq++
+	}
+	// Sort kept rows best-first, then strip the seq tags.
+	t.out = t.heap
+	sort.Slice(t.out, func(a, b int) bool { return t.worse(t.out[b], t.out[a]) })
+	for i := range t.out {
+		t.out[i] = t.out[i][:width]
+	}
+	t.done = true
+}
+
+func (t *topkRel) Next() (Row, bool) {
+	if !t.done {
+		t.drain()
+	}
+	if t.i >= len(t.out) {
+		return nil, false
+	}
+	r := t.out[t.i]
+	t.i++
+	return r, true
+}
+
+type limitRel struct {
+	in Relation
+	n  int
+}
+
+// Limit yields at most n input rows.
+func Limit(in Relation, n int) Relation {
+	return &limitRel{in: in, n: n}
+}
+
+func (l *limitRel) Schema() Schema { return l.in.Schema() }
+
+func (l *limitRel) Next() (Row, bool) {
+	if l.n <= 0 {
+		return nil, false
+	}
+	l.n--
+	return l.in.Next()
+}
+
+type resolveRel struct {
+	in   Relation
+	idx  []int
+	name func(uint32) (string, bool)
+	row  Row
+}
+
+// Resolve rewrites the named integer columns to Str values via the name
+// function (an intern table's Name method): external analytics see user
+// names, not dense IDs. IDs the function cannot resolve — and trackers
+// ingesting raw numeric IDs have no table at all — fall back to the
+// decimal form of the ID. Non-Int cells pass through untouched.
+func Resolve(in Relation, cols []string, name func(uint32) (string, bool)) (Relation, error) {
+	s := in.Schema()
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		j := s.Col(c)
+		if j < 0 {
+			return nil, fmt.Errorf("query: names: unknown column %q (have %v)", c, []string(s))
+		}
+		idx[i] = j
+	}
+	return &resolveRel{in: in, idx: idx, name: name, row: make(Row, len(s))}, nil
+}
+
+func (r *resolveRel) Schema() Schema { return r.in.Schema() }
+
+func (r *resolveRel) Next() (Row, bool) {
+	in, ok := r.in.Next()
+	if !ok {
+		return nil, false
+	}
+	copy(r.row, in)
+	for _, j := range r.idx {
+		v := r.row[j]
+		if v.Kind() != Int {
+			continue
+		}
+		id := v.Int()
+		if r.name != nil && id >= 0 && id <= int64(^uint32(0)) {
+			if n, ok := r.name(uint32(id)); ok {
+				r.row[j] = StringValue(n)
+				continue
+			}
+		}
+		r.row[j] = StringValue(strconv.FormatInt(id, 10))
+	}
+	return r.row, true
+}

@@ -1,0 +1,172 @@
+// Black-box tests (package query_test) so they may import internal/bench
+// for the evaluation datasets: bench itself imports query for the "query"
+// experiment, and an in-package test would close that cycle.
+package query_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/query"
+	"repro/sim"
+)
+
+// testEnv builds an Env over two snapshots of the same tracker (mid-stream
+// and final) plus a name resolver that misses every third ID, exercising
+// both the resolved and the fallback paths of the names operator.
+func testEnv(t *testing.T, actions []sim.Action, fwk sim.Framework) query.Env {
+	t.Helper()
+	tr, err := sim.New(sim.Config{K: 8, WindowSize: 2000, Slide: 50, Framework: fwk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(actions) / 2
+	if err := tr.ProcessAll(actions[:half]); err != nil {
+		t.Fatal(err)
+	}
+	prev := tr.Snapshot()
+	if err := tr.ProcessAll(actions[half:]); err != nil {
+		t.Fatal(err)
+	}
+	cur := tr.Snapshot()
+	return query.Env{
+		Current:  &cur,
+		Previous: &prev,
+		Name: func(id uint32) (string, bool) {
+			if id%3 == 0 {
+				return "", false
+			}
+			return fmt.Sprintf("u%d", id), true
+		},
+	}
+}
+
+// propertyPlans is the plan corpus for the lazy-vs-reference equivalence
+// test: every operator, joins with subplans, compare sources, name
+// resolution, and operator stacking.
+func propertyPlans() []query.Plan {
+	v0 := query.IntValue(0)
+	v2 := query.IntValue(2)
+	kept := query.StringValue("kept")
+	return []query.Plan{
+		{Scan: "seeds"},
+		{Scan: "checkpoints"},
+		{Scan: "influence"},
+		{Scan: "seeds", Ops: []query.Op{{Op: "project", Cols: []string{"user"}}}},
+		{Scan: "seeds", Ops: []query.Op{{Op: "filter", Col: "influence", Cmp: ">", Value: &v0}}},
+		{Scan: "checkpoints", Ops: []query.Op{{Op: "topk", Col: "value", K: 3, Desc: true}}},
+		{Scan: "influence", Ops: []query.Op{{Op: "topk", Col: "user", K: 7, Desc: false}}},
+		{Scan: "influence", Ops: []query.Op{{Op: "limit", N: 5}}},
+		{Scan: "seeds", Ops: []query.Op{{Op: "names", Cols: []string{"user"}}}},
+		{Scan: "influence", Ops: []query.Op{
+			{Op: "join", On: "seed", Right: &query.Plan{Scan: "seeds"}, RightOn: "user"},
+			{Op: "filter", Col: "influence", Cmp: ">=", Value: &v2},
+			{Op: "topk", Col: "influence", K: 5, Desc: true},
+			{Op: "project", Cols: []string{"seed", "user", "influence"}},
+		}},
+		{Scan: "seeds", Ops: []query.Op{
+			{Op: "join", On: "user", Right: &query.Plan{Scan: "influence", Ops: []query.Op{{Op: "limit", N: 50}}}, RightOn: "seed"},
+		}},
+		{Compare: "seeds"},
+		{Compare: "seeds", Ops: []query.Op{{Op: "names", Col: "user"}}},
+		{Compare: "checkpoints"},
+		{Compare: "checkpoints", Ops: []query.Op{
+			{Op: "filter", Col: "status", Cmp: "==", Value: &kept},
+			{Op: "project", Cols: []string{"start", "delta"}},
+		}},
+		{Scan: "seeds", Ops: []query.Op{
+			{Op: "join", On: "user", Right: &query.Plan{Compare: "seeds"}, RightOn: "user"},
+			{Op: "filter", Col: "status", Cmp: "!=", Value: &kept},
+		}},
+	}
+}
+
+// TestLazyMatchesReference is the property test of ISSUE 6: every lazy
+// operator pipeline produces bit-identical schema and rows to the naive
+// fully-materialized reference evaluator, across all four evaluation
+// datasets under both frameworks.
+func TestLazyMatchesReference(t *testing.T) {
+	sc := bench.ScaleSmoke()
+	sc.Users = 500
+	sc.StreamLen = 3000
+	for _, ds := range bench.Datasets(sc) {
+		for _, fwk := range []sim.Framework{sim.SIC, sim.IC} {
+			t.Run(fmt.Sprintf("%s/%v", ds.Name, fwk), func(t *testing.T) {
+				env := testEnv(t, ds.Actions, fwk)
+				if len(env.Current.Seeds) == 0 {
+					t.Fatal("fixture produced no seeds; property test would be vacuous")
+				}
+				for pi, p := range propertyPlans() {
+					p := p
+					rel, err := p.Open(env)
+					if err != nil {
+						t.Fatalf("plan %d: Open: %v", pi, err)
+					}
+					lazyRows, truncated := query.Collect(rel, 0)
+					if truncated {
+						t.Fatalf("plan %d: Collect(limit=0) truncated", pi)
+					}
+					refSchema, refRows, err := p.Materialize(env)
+					if err != nil {
+						t.Fatalf("plan %d: Materialize: %v", pi, err)
+					}
+					if !reflect.DeepEqual(rel.Schema(), refSchema) {
+						t.Errorf("plan %d: lazy schema %v != reference %v", pi, rel.Schema(), refSchema)
+					}
+					if len(lazyRows) != len(refRows) {
+						t.Fatalf("plan %d: lazy %d rows, reference %d", pi, len(lazyRows), len(refRows))
+					}
+					for i := range lazyRows {
+						if !reflect.DeepEqual(lazyRows[i], refRows[i]) {
+							t.Fatalf("plan %d row %d: lazy %v != reference %v", pi, i, lazyRows[i], refRows[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPlanJSON decodes a wire-format plan and runs it, proving the JSON
+// field names of Plan/Op are what the docs advertise.
+func TestPlanJSON(t *testing.T) {
+	raw := `{
+		"scan": "influence",
+		"ops": [
+			{"op": "join", "on": "seed", "right": {"scan": "seeds"}, "right_on": "user"},
+			{"op": "filter", "col": "influence", "cmp": ">=", "value": 1},
+			{"op": "topk", "col": "influence", "k": 3, "desc": true},
+			{"op": "names", "cols": ["seed"]},
+			{"op": "project", "cols": ["seed", "influence"]}
+		]
+	}`
+	var p query.Plan
+	if err := json.Unmarshal([]byte(raw), &p); err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv(t, bench.Datasets(func() bench.Scale {
+		sc := bench.ScaleSmoke()
+		sc.Users = 200
+		sc.StreamLen = 1500
+		return sc
+	}())[2].Actions, sim.SIC)
+	rel, err := p.Open(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := query.Collect(rel, 0)
+	if want := (query.Schema{"seed", "influence"}); !reflect.DeepEqual(rel.Schema(), want) {
+		t.Fatalf("schema %v, want %v", rel.Schema(), want)
+	}
+	if len(rows) == 0 || len(rows) > 3 {
+		t.Fatalf("got %d rows, want 1..3", len(rows))
+	}
+	for _, r := range rows {
+		if r[0].Kind() != query.Str {
+			t.Errorf("seed column not name-resolved: %v", r[0])
+		}
+	}
+}

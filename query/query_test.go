@@ -1,0 +1,199 @@
+package query
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/sim"
+)
+
+func TestValueCompareTotalOrder(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntValue(1), IntValue(2), -1},
+		{IntValue(2), IntValue(2), 0},
+		{IntValue(3), IntValue(2), 1},
+		{IntValue(2), FloatValue(2.0), 0},  // cross-kind numeric
+		{FloatValue(1.5), IntValue(2), -1}, // cross-kind numeric
+		{FloatValue(2.5), FloatValue(2.5), 0},
+		{StringValue("a"), StringValue("b"), -1},
+		{StringValue("b"), StringValue("b"), 0},
+		{IntValue(999), StringValue(""), -1}, // numerics before strings
+		{StringValue("0"), IntValue(-5), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	in := Row{IntValue(-7), FloatValue(2.25), StringValue(`he"llo`), FloatValue(3)}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `[-7,2.25,"he\"llo",3]`; string(raw) != want {
+		t.Fatalf("marshaled %s, want %s", raw, want)
+	}
+	var out Row
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	// 3.0 decodes as Int 3; comparisons are cross-kind so answers agree.
+	if !out[0].Equal(in[0]) || !out[1].Equal(in[1]) || !out[2].Equal(in[2]) || !out[3].Equal(in[3]) {
+		t.Fatalf("round-trip %v -> %v", in, out)
+	}
+	if out[3].Kind() != Int {
+		t.Errorf("exact-integer JSON number decoded as %v, want Int", out[3].Kind())
+	}
+}
+
+// fixedRel builds a test relation from literal rows.
+func fixedRel(schema Schema, rows ...Row) Relation {
+	return &sliceRelation{schema: schema, rows: rows}
+}
+
+func TestJoinColumnCollisionAndOrder(t *testing.T) {
+	left := fixedRel(Schema{"user", "score"},
+		Row{IntValue(1), IntValue(10)},
+		Row{IntValue(2), IntValue(20)},
+		Row{IntValue(1), IntValue(30)},
+	)
+	right := fixedRel(Schema{"id", "user"},
+		Row{IntValue(100), IntValue(1)},
+		Row{IntValue(200), FloatValue(1)}, // 1.0 joins with 1
+		Row{IntValue(300), IntValue(3)},
+	)
+	j, err := Join(left, right, "user", "user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (Schema{"user", "score", "id"}); !reflect.DeepEqual(j.Schema(), want) {
+		t.Fatalf("join schema %v, want %v", j.Schema(), want)
+	}
+	rows, _ := Collect(j, 0)
+	// user=2 has no right match; user=3 only exists on the right; 1.0
+	// joins with 1 across kinds. Left order, then right order.
+	want := []Row{
+		{IntValue(1), IntValue(10), IntValue(100)},
+		{IntValue(1), IntValue(10), IntValue(200)},
+		{IntValue(1), IntValue(30), IntValue(100)},
+		{IntValue(1), IntValue(30), IntValue(200)},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("join rows %v, want %v", rows, want)
+	}
+
+	// A right column colliding with a kept left column is renamed.
+	right2 := fixedRel(Schema{"user", "score"}, Row{IntValue(1), IntValue(99)})
+	j2, err := Join(left, right2, "user", "user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (Schema{"user", "score", "right_score"}); !reflect.DeepEqual(j2.Schema(), want) {
+		t.Fatalf("collision schema %v, want %v", j2.Schema(), want)
+	}
+}
+
+func TestTopKStableAndBounded(t *testing.T) {
+	in := fixedRel(Schema{"user", "v"},
+		Row{IntValue(1), IntValue(5)},
+		Row{IntValue(2), IntValue(9)},
+		Row{IntValue(3), IntValue(5)},
+		Row{IntValue(4), IntValue(1)},
+		Row{IntValue(5), IntValue(9)},
+		Row{IntValue(6), IntValue(5)},
+	)
+	tk, err := TopK(in, "v", 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := Collect(tk, 0)
+	// Best first; ties (the 9s, then the first 5) in input order.
+	want := []Row{
+		{IntValue(2), IntValue(9)},
+		{IntValue(5), IntValue(9)},
+		{IntValue(1), IntValue(5)},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("topk rows %v, want %v", rows, want)
+	}
+
+	// Ascending, k larger than the input.
+	tk2, _ := TopK(fixedRel(Schema{"v"}, Row{IntValue(3)}, Row{IntValue(1)}), "v", 10, false)
+	rows2, _ := Collect(tk2, 0)
+	if want := []Row{{IntValue(1)}, {IntValue(3)}}; !reflect.DeepEqual(rows2, want) {
+		t.Fatalf("asc topk rows %v, want %v", rows2, want)
+	}
+}
+
+// TestPlanErrors pins the compile-time validation of bad plans: both the
+// lazy and the reference evaluator must reject each one.
+func TestPlanErrors(t *testing.T) {
+	v := IntValue(1)
+	bad := []Plan{
+		{},                                    // no source
+		{Scan: "nope"},                        // unknown scan
+		{Compare: "nope"},                     // unknown compare
+		{Scan: "seeds", Compare: "seeds"},     // both sources
+		{Scan: "seeds", Ops: []Op{{Op: "?"}}}, // unknown op
+		{Scan: "seeds", Ops: []Op{{Op: "filter", Col: "user"}}},                            // filter without value
+		{Scan: "seeds", Ops: []Op{{Op: "filter", Col: "ghost", Value: &v}}},                // unknown column
+		{Scan: "seeds", Ops: []Op{{Op: "filter", Col: "user", Cmp: "~", Value: &v}}},       // bad cmp
+		{Scan: "seeds", Ops: []Op{{Op: "project"}}},                                        // project without cols
+		{Scan: "seeds", Ops: []Op{{Op: "project", Cols: []string{"ghost"}}}},               // unknown column
+		{Scan: "seeds", Ops: []Op{{Op: "join"}}},                                           // join without right/on
+		{Scan: "seeds", Ops: []Op{{Op: "join", On: "user", Right: &Plan{Scan: "nope"}}}},   // bad subplan
+		{Scan: "seeds", Ops: []Op{{Op: "join", On: "ghost", Right: &Plan{Scan: "seeds"}}}}, // unknown left col
+		{Scan: "seeds", Ops: []Op{{Op: "topk", Col: "user"}}},                              // k <= 0
+		{Scan: "seeds", Ops: []Op{{Op: "topk", Col: "ghost", K: 1}}},                       // unknown column
+		{Scan: "seeds", Ops: []Op{{Op: "limit"}}},                                          // n <= 0
+		{Scan: "seeds", Ops: []Op{{Op: "names"}}},                                          // no cols
+		{Scan: "seeds", Ops: []Op{{Op: "names", Cols: []string{"ghost"}}}},                 // unknown column
+	}
+	snap := sim.Snapshot{}
+	env := Env{Current: &snap}
+	for i, p := range bad {
+		p := p
+		if _, err := p.Open(env); err == nil {
+			t.Errorf("bad plan %d: Open accepted %+v", i, p)
+		}
+		if _, _, err := p.Materialize(env); err == nil {
+			t.Errorf("bad plan %d: Materialize accepted %+v", i, p)
+		}
+	}
+	if _, err := (&Plan{Scan: "seeds"}).Open(Env{}); err == nil {
+		t.Error("Open without a snapshot should fail")
+	}
+}
+
+// TestCompareWithoutPrevious pins the all-"kept" self-diff when no earlier
+// snapshot exists yet.
+func TestCompareWithoutPrevious(t *testing.T) {
+	snap := sim.Snapshot{
+		Seeds:            []sim.UserID{4, 9},
+		SeedInfluence:    []sim.SeedInfluence{{User: 4, Influenced: []sim.UserID{1}}, {User: 9, Influenced: []sim.UserID{}}},
+		CheckpointStarts: []sim.ActionID{1},
+		CheckpointValues: []float64{2.5},
+	}
+	rel, err := (&Plan{Compare: "seeds"}).Open(Env{Current: &snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := Collect(rel, 0)
+	want := []Row{
+		{IntValue(4), StringValue("kept")},
+		{IntValue(9), StringValue("kept")},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("self-diff rows %v, want %v", rows, want)
+	}
+}

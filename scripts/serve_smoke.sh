@@ -1,8 +1,10 @@
 #!/bin/sh
 # serve_smoke.sh — end-to-end smoke of the simserve serving layer, run by
-# `make serve-smoke` and CI: boot the server, POST 1k generated actions as
-# NDJSON over HTTP, assert the seeds query returns a non-empty solution,
-# then exit through the SIGTERM drain path.
+# `make serve-smoke` and CI: boot the server, drive it through simctl (the
+# typed api.Client path): ingest 1k generated actions, assert the seeds
+# query returns a non-empty solution, run a relational /query plan, check
+# the error contract on an unknown tracker, then exit through the SIGTERM
+# drain path.
 set -eu
 
 ADDR="${SMOKE_ADDR:-127.0.0.1:8399}"
@@ -11,54 +13,74 @@ WORK="$(mktemp -d)"
 SRV_PID=
 trap 'kill "${SRV_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
-fetch() {
-    if command -v curl >/dev/null 2>&1; then
-        curl -sf "$@"
-    else
-        # wget fallback: supports only the GET and POST-file shapes below.
-        if [ "$1" = "--data-binary" ]; then
-            wget -q -O - --post-file="${2#@}" "$3"
-        else
-            wget -q -O - "$1"
-        fi
-    fi
-}
+ctl() { "$WORK/simctl" -addr "$BASE" "$@"; }
 
 echo "== build"
 go build -o "$WORK/simserve" ./cmd/simserve
 go build -o "$WORK/simgen" ./cmd/simgen
+go build -o "$WORK/simctl" ./cmd/simctl
 
 echo "== boot simserve on $ADDR"
 "$WORK/simserve" -addr "$ADDR" -k 5 -window 2000 &
 SRV_PID=$!
 
 i=0
-until fetch "$BASE/healthz" >/dev/null 2>&1; do
+until ctl health >/dev/null 2>&1; do
     i=$((i + 1))
     [ "$i" -lt 50 ] || { echo "server did not come up" >&2; exit 1; }
     sleep 0.1
 done
 
-echo "== ingest 1000 generated actions over HTTP"
+echo "== ingest 1000 generated actions through the api client"
 "$WORK/simgen" -preset syn-o -users 500 -actions 1000 -window 1000 \
     -format ndjson -out "$WORK/actions.ndjson"
-fetch --data-binary "@$WORK/actions.ndjson" "$BASE/v1/trackers/default/actions"
-echo
+INGEST="$(ctl ingest default "$WORK/actions.ndjson")"
+echo "$INGEST"
+case "$INGEST" in
+*'"processed": 1000'*) ;;
+*) echo "expected processed=1000: $INGEST" >&2; exit 1 ;;
+esac
 
 echo "== query seeds"
-SEEDS="$(fetch "$BASE/v1/trackers/default/seeds")"
+SEEDS="$(ctl seeds default)"
 echo "$SEEDS"
 case "$SEEDS" in
-*'"seeds":['[0-9]*) ;;
+*'"seeds": ['*) ;;
 *) echo "seeds query returned no seeds: $SEEDS" >&2; exit 1 ;;
 esac
-case "$SEEDS" in
-*'"processed":1000'*) ;;
-*) echo "expected processed=1000: $SEEDS" >&2; exit 1 ;;
+
+echo "== relational query: top-3 seeds by influence"
+cat > "$WORK/plan.json" <<'EOF'
+{"plan": {"scan": "seeds", "ops": [{"op": "topk", "col": "influence", "k": 3, "desc": true}]}}
+EOF
+ROWS="$(ctl query default "$WORK/plan.json")"
+echo "$ROWS"
+case "$ROWS" in
+*'"rows": ['*) ;;
+*) echo "query returned no rows: $ROWS" >&2; exit 1 ;;
+esac
+case "$ROWS" in
+*'"processed": 1000'*) ;;
+*) echo "query ran against the wrong snapshot: $ROWS" >&2; exit 1 ;;
 esac
 
-echo "== metrics"
-fetch "$BASE/metrics" | grep simserve_ingested_total
+echo "== error contract: unknown tracker is a 404 envelope"
+if ERR="$(ctl seeds no-such-tracker 2>&1)"; then
+    echo "expected a non-zero exit for an unknown tracker: $ERR" >&2
+    exit 1
+fi
+echo "$ERR"
+case "$ERR" in
+*'unknown tracker'*'404'*) ;;
+*) echo "error did not carry the envelope message + status: $ERR" >&2; exit 1 ;;
+esac
+
+echo "== stats"
+STATS="$(ctl stats default)"
+case "$STATS" in
+*'"queue_capacity"'*) ;;
+*) echo "stats missing queue_capacity: $STATS" >&2; exit 1 ;;
+esac
 
 echo "== graceful drain (SIGTERM)"
 kill -TERM "$SRV_PID"

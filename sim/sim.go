@@ -498,6 +498,18 @@ func (t *Tracker) CheckpointStarts() []ActionID { return t.flushed().CheckpointS
 // allocated. Buffered actions are flushed first.
 func (t *Tracker) CheckpointValues() []float64 { return t.flushed().CheckpointValues() }
 
+// SeedInfluence is one seed user's influence set as captured by a Snapshot:
+// the users the seed currently influences within the window (Definition 1),
+// in the stream index's recency order. It is the row source of the query
+// layer's "influence" scan (package query), which must run entirely off the
+// immutable snapshot so analytics never touch the ingest path.
+type SeedInfluence struct {
+	// User is the seed.
+	User UserID `json:"user"`
+	// Influenced is I(User) for the current window; never nil.
+	Influenced []UserID `json:"influenced"`
+}
+
 // Snapshot is an immutable, JSON-marshalable view of a Tracker's current
 // answer and maintenance counters. A Snapshot shares no memory with the
 // Tracker that produced it, so it may be published to — and read by — any
@@ -523,6 +535,12 @@ type Snapshot struct {
 	Checkpoints      int        `json:"checkpoints"`
 	CheckpointStarts []ActionID `json:"checkpoint_starts"`
 	CheckpointValues []float64  `json:"checkpoint_values"`
+	// SeedInfluence holds, in Seeds order, each seed's influence set within
+	// the current window — the per-user rows the query layer's scans pull
+	// from without ever touching the live tracker. Capturing it costs one
+	// slice copy per seed (the sets are contiguous log prefixes), bounded by
+	// K sets per snapshot.
+	SeedInfluence []SeedInfluence `json:"seed_influence"`
 	// AvgCheckpoints / ElementsFed / CheckpointsCreated /
 	// CheckpointsDeleted are the cumulative maintenance counters of Stats
 	// and the experiment harness.
@@ -557,16 +575,32 @@ func (t *Tracker) Snapshot() Snapshot {
 	if fw.Config().Sparse {
 		fwk = SIC
 	}
+	seeds := append([]UserID{}, fw.Seeds()...)
+	// Capture each seed's influence set so snapshot consumers (the query
+	// layer's scans) need no access to the live stream index. Slices are
+	// deliberately non-nil: a Snapshot must survive a JSON round trip
+	// bit-identically, and null decodes to nil.
+	infl := make([]SeedInfluence, 0, len(seeds))
+	ws := fw.WindowStart()
+	st := fw.Stream()
+	for _, u := range seeds {
+		set := st.InfluenceSet(u, ws)
+		if set == nil {
+			set = []UserID{}
+		}
+		infl = append(infl, SeedInfluence{User: u, Influenced: set})
+	}
 	return Snapshot{
 		Framework:          fwk,
 		Oracle:             t.orc,
 		Processed:          fs.Processed,
-		WindowStart:        fw.WindowStart(),
-		Seeds:              append([]UserID{}, fw.Seeds()...),
+		WindowStart:        ws,
+		Seeds:              seeds,
 		Value:              fw.Value(),
 		Checkpoints:        fw.Checkpoints(),
 		CheckpointStarts:   fw.CheckpointStarts(),
 		CheckpointValues:   fw.CheckpointValues(),
+		SeedInfluence:      infl,
 		AvgCheckpoints:     fs.AvgCheckpoints,
 		ElementsFed:        fs.ElementsFed,
 		CheckpointsCreated: fs.Created,

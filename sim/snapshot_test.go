@@ -60,6 +60,21 @@ func TestSnapshotMatchesQueries(t *testing.T) {
 		if snap.Framework != fwk {
 			t.Errorf("snapshot framework %v, want %v", snap.Framework, fwk)
 		}
+		if len(snap.SeedInfluence) != len(snap.Seeds) {
+			t.Fatalf("%v: %d SeedInfluence entries for %d seeds", fwk, len(snap.SeedInfluence), len(snap.Seeds))
+		}
+		for i, si := range snap.SeedInfluence {
+			if si.User != snap.Seeds[i] {
+				t.Errorf("%v: SeedInfluence[%d].User = %d, want seed %d", fwk, i, si.User, snap.Seeds[i])
+			}
+			want := tr.InfluenceSet(si.User)
+			if want == nil {
+				want = []sim.UserID{}
+			}
+			if si.Influenced == nil || !reflect.DeepEqual(si.Influenced, want) {
+				t.Errorf("%v: SeedInfluence[%d] = %v, want %v (non-nil)", fwk, i, si.Influenced, want)
+			}
+		}
 
 		// Mutating the snapshot must not disturb the tracker.
 		if len(snap.Seeds) == 0 {
