@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-check fmt fmt-check vet lint ci serve serve-smoke recover-smoke
+.PHONY: all build test race bench bench-json bench-check fmt fmt-check vet lint ci serve serve-smoke recover-smoke chaos-smoke
 
 all: build
 
@@ -57,6 +57,14 @@ serve-smoke:
 recover-smoke:
 	sh ./scripts/recover_smoke.sh
 
+# End-to-end fault-injection smoke (also a CI step): boot simserve with a
+# deterministic fault plan (-fault rules + -fault-seed, CHAOS_SEED=42),
+# ingest through the retrying client so 429/503s are ridden over, kill -9,
+# restart clean and assert no acked action was lost and the answer matches
+# an uninterrupted run.
+chaos-smoke:
+	sh ./scripts/chaos_smoke.sh
+
 fmt:
 	gofmt -w .
 
@@ -77,4 +85,4 @@ lint: vet
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-ci: fmt-check lint build race bench serve-smoke recover-smoke bench-check
+ci: fmt-check lint build race bench serve-smoke recover-smoke chaos-smoke bench-check

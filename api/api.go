@@ -17,6 +17,7 @@
 //	GET  /v1/trackers/{name}/window              WindowResponse
 //	GET  /v1/trackers/{name}/checkpoints         CheckpointsResponse
 //	GET  /v1/trackers/{name}/stats               StatsResponse
+//	GET  /v1/trackers/{name}/metrics             TrackerMetricsResponse
 //	GET  /v1/trackers/{name}/influence?user=U    InfluenceResponse
 //	POST /v1/trackers/{name}/query               QueryRequest -> QueryResponse
 //	GET  /metrics                                Prometheus text format
@@ -36,18 +37,26 @@
 //	     unknown parent) aborted the batch at the offending action;
 //	     everything before it was applied
 //	413  ingest body exceeds the server's size cap
-//	500  durable tracker could not append to its write-ahead log; the
-//	     batch was NOT applied and may be retried
-//	503  tracker (or server) is draining, or the request's context
-//	     expired while queued
+//	429  shed by admission control: the ingest queue stayed full past the
+//	     tracker's enqueue deadline; the batch was NOT applied — back off
+//	     and retry (a Retry-After header carries a hint in seconds)
+//	503  tracker (or server) is draining, the request's context expired
+//	     while queued, a WAL append failed (the batch was NOT applied and
+//	     may be retried), or a degraded tracker is serving reads only
+//	     while it re-arms its durability path (Retry-After hints when)
 //
-// The Client surfaces these as *Error values.
+// 429 and 503 are the retryable statuses; on ingest both guarantee the
+// batch was not applied, so retrying cannot double-apply. The Client
+// surfaces every non-2xx as an *Error value (with RetryAfter populated)
+// and can retry them itself — see RetryPolicy.
 package api
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"time"
 
 	"repro/query"
 	"repro/sim"
@@ -81,6 +90,12 @@ type Spec struct {
 	// Queue is the ingest queue capacity in commands (batches), the bound
 	// behind the Submit backpressure. 0 means the server default (256).
 	Queue int `json:"queue,omitempty"`
+	// EnqueueDeadlineMillis bounds how long an ingest waits for space in a
+	// full queue before the server sheds it with 429 (admission control: a
+	// wedged ingest loop must not wedge HTTP handlers). 0 means the server
+	// default (2000 ms); negative disables shedding — callers block until
+	// their request context expires.
+	EnqueueDeadlineMillis int `json:"enqueue_deadline_ms,omitempty"`
 	// SnapshotWALBytes is the write-ahead-log size that triggers a
 	// snapshot+truncate on a durable registry (one with a data dir). 0
 	// means the server default (4 MiB). Ignored without durability.
@@ -223,6 +238,38 @@ type HealthResponse struct {
 	// snapshot: batches stay safe in its ever-growing WAL, but recovery
 	// replays lengthen until the underlying condition clears.
 	Degraded map[string]string `json:"degraded,omitempty"`
+	// States maps tracker names to their serving state: "ok" (full
+	// service), "degraded-readonly" (the durability path is poisoned —
+	// reads and queries keep answering, ingest gets 503 until the tracker
+	// re-arms), or "recovering" (a re-arm attempt is in flight). Status is
+	// "degraded" whenever any tracker is not "ok".
+	States map[string]string `json:"states,omitempty"`
+}
+
+// TrackerMetricsResponse answers GET /v1/trackers/{name}/metrics: the
+// tracker's self-healing and admission-control counters, for operators
+// and tests that need more than the coarse /stats view.
+type TrackerMetricsResponse struct {
+	// State is the serving state: "ok", "degraded-readonly" or
+	// "recovering" (see HealthResponse.States).
+	State string `json:"state"`
+	// SnapshotRetries counts failed snapshot-write attempts (each is
+	// retried with capped exponential backoff).
+	SnapshotRetries int64 `json:"snapshot_retries"`
+	// WALRearms counts successful durability re-arms: a fresh covering
+	// snapshot published and the WAL recreated empty after a poisoning.
+	WALRearms int64 `json:"wal_rearms"`
+	// ShedRequests counts ingests rejected with 429 because the queue
+	// stayed full past the enqueue deadline.
+	ShedRequests int64 `json:"shed_requests"`
+	// QueueDepthHighWater is the deepest the ingest queue has been.
+	QueueDepthHighWater int64 `json:"queue_depth_high_water"`
+	// QueueDepth / QueueCapacity mirror the live /stats values.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// DurabilityError is the latest snapshot/WAL failure message, empty
+	// when healthy.
+	DurabilityError string `json:"durability_error,omitempty"`
 }
 
 // QueryRequest is the body of POST /v1/trackers/{name}/query: a relational
@@ -262,6 +309,16 @@ type ErrorResponse struct {
 type Error struct {
 	Code    int
 	Message string
+	// RetryAfter is the server's Retry-After hint, when present (429 and
+	// 503 responses carry one); zero otherwise.
+	RetryAfter time.Duration
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("api: %s (HTTP %d)", e.Message, e.Code) }
+
+// Temporary reports whether the error is a retryable server condition
+// (429 shed or 503 unavailable) rather than a caller mistake. On ingest
+// both statuses guarantee the batch was not applied.
+func (e *Error) Temporary() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
+}

@@ -31,7 +31,7 @@ import (
 	"repro/sim"
 )
 
-const usage = `usage: simctl [-addr URL] [-names] <command> [args]
+const usage = `usage: simctl [-addr URL] [-names] [-timeout D] [-retries N] <command> [args]
 
 commands:
   health                     GET /v1/healthz
@@ -41,6 +41,7 @@ commands:
   value <tracker>            GET /v1/trackers/{name}/value
   checkpoints <tracker>      GET /v1/trackers/{name}/checkpoints
   stats <tracker>            GET /v1/trackers/{name}/stats
+  metrics <tracker>          GET /v1/trackers/{name}/metrics (state + self-healing counters)
   influence <tracker> <user> GET /v1/trackers/{name}/influence (user: ID, or name with -names)
   ingest <tracker> <file>    POST NDJSON actions ("-" = stdin; string users with -names)
   query <tracker> <file>     POST a JSON plan ("-" = stdin; bare plan or {"plan":...,"limit":N})
@@ -49,6 +50,8 @@ commands:
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8384", "simserve base URL")
 	names := flag.Bool("names", false, `name-mode tracker: ingest NDJSON "user" fields are string names`)
+	timeout := flag.Duration("timeout", 0, "per-attempt request timeout (0 = client default 30s)")
+	retries := flag.Int("retries", 0, "retry attempts after 429/503 (and transport errors on reads)")
 	flag.Usage = func() { fmt.Fprint(os.Stderr, usage) }
 	flag.Parse()
 	args := flag.Args()
@@ -57,6 +60,8 @@ func main() {
 		os.Exit(2)
 	}
 	client := api.NewClient(*addr)
+	client.Timeout = *timeout
+	client.Retry = api.RetryPolicy{MaxRetries: *retries}
 	ctx := context.Background()
 
 	out, err := run(ctx, client, *names, args[0], args[1:])
@@ -120,6 +125,12 @@ func run(ctx context.Context, c *api.Client, names bool, cmd string, args []stri
 			return nil, err
 		}
 		return c.Stats(ctx, t)
+	case "metrics":
+		t, err := tracker()
+		if err != nil {
+			return nil, err
+		}
+		return c.TrackerMetrics(ctx, t)
 	case "influence":
 		t, err := tracker()
 		if err != nil {

@@ -55,6 +55,7 @@ import (
 
 	"repro/api"
 	"repro/internal/dataio"
+	"repro/internal/fault"
 	"repro/internal/server"
 	"repro/sim"
 )
@@ -81,6 +82,8 @@ func main() {
 		snapBytes = flag.Int64("wal-snapshot-bytes", 0, "WAL size triggering snapshot+truncate for the flag-built tracker (0 = default 4 MiB)")
 		names     = flag.Bool("names", false, "name-mode tracker: NDJSON \"user\" fields are string names, interned to dense IDs")
 		unsafeRec = flag.Bool("unsafe-batch-recovery", false, "allow batch > 1 together with -data-dir even though crash recovery is only batch-for-batch identical at batch=1")
+		faultSpec = flag.String("fault", "", "TESTING ONLY: inject filesystem faults into the durable path; semicolon-separated rules like op=sync,path=wal.log,after=2,times=1,err=ENOSPC (see internal/fault)")
+		faultSeed = flag.Int64("fault-seed", 0, "TESTING ONLY: derive one deterministic fault rule from this seed (non-zero; composes with -fault)")
 		version   = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
@@ -91,6 +94,25 @@ func main() {
 	}
 
 	reg := server.NewRegistry()
+	if *faultSpec != "" || *faultSeed != 0 {
+		inj := fault.NewInjector(fault.OS())
+		if *faultSpec != "" {
+			rules, err := fault.ParseRules(*faultSpec)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			for _, r := range rules {
+				inj.Add(r)
+				log.Printf("fault armed: %s", r.String())
+			}
+		}
+		if *faultSeed != 0 {
+			r := fault.FromSeed(*faultSeed)
+			inj.Add(r)
+			log.Printf("fault armed (seed %d): %s", *faultSeed, r.String())
+		}
+		reg.SetFS(inj)
+	}
 	if *dataDir != "" {
 		reg.SetDataDir(*dataDir)
 	}
@@ -235,13 +257,26 @@ func runReplay(ctx context.Context, t *server.Tracked, path string, follow bool,
 		if len(batch) == 0 {
 			return nil
 		}
-		if _, err := t.Submit(fctx, batch); err != nil {
+		for {
+			_, err := t.Submit(fctx, batch)
+			if err == nil {
+				batch = batch[:0]
+				return nil
+			}
+			if errors.Is(err, server.ErrOverloaded) {
+				// Admission control shed the batch: the replay producer is
+				// exactly the kind of bulk feeder that should yield to live
+				// HTTP traffic, not die. Back off and resubmit.
+				select {
+				case <-fctx.Done():
+				case <-time.After(100 * time.Millisecond):
+					continue
+				}
+			}
 			// Keep the batch: a cancellation-aborted submit is retried by
 			// the final context.Background() drain flush.
 			return fmt.Errorf("after %d actions: %w", count, err)
 		}
-		batch = batch[:0]
-		return nil
 	}
 	if follow {
 		// onIdle runs on this goroutine, between decoder Read calls, so it

@@ -1,0 +1,46 @@
+package dataio
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/fault"
+)
+
+// AtomicWriteFile publishes a file via the temp-file/fsync/rename dance:
+// write writes the full contents to <path>.tmp, the temp file is fsynced
+// and closed, and only then renamed over path — so path always names a
+// complete file, never a torn prefix. The SIM2 snapshot writer is the main
+// caller: a crash at ANY step leaves the previous snapshot intact.
+//
+// All filesystem access goes through fs (the fault.FS seam), so each step
+// — create, write, fsync, close, rename — is an injectable fault point. On
+// any failure the temp file is removed (best effort) and path is
+// untouched.
+func AtomicWriteFile(fs fault.FS, path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("dataio: atomic write %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return fmt.Errorf("dataio: atomic write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return fmt.Errorf("dataio: atomic write %s: sync: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("dataio: atomic write %s: close: %w", path, err)
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("dataio: atomic write %s: rename: %w", path, err)
+	}
+	return nil
+}

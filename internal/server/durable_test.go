@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/api"
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/sim"
 )
@@ -318,14 +319,14 @@ func TestDataDirLock(t *testing.T) {
 	if _, err := reg.Add("default", durableSpec); err != nil {
 		t.Fatal(err)
 	}
-	if tr, _, _, err := recoverTracker(filepath.Join(dir, "default"), durableSpec.Config(), 0, nil); err == nil {
+	if tr, _, _, err := recoverTracker(nil, nil, filepath.Join(dir, "default"), durableSpec.Config(), 0, nil); err == nil {
 		tr.Close()
 		t.Fatal("second recovery of a locked data dir succeeded")
 	}
 	if err := reg.Close(); err != nil {
 		t.Fatal(err)
 	}
-	tr, d, _, err := recoverTracker(filepath.Join(dir, "default"), durableSpec.Config(), 0, nil)
+	tr, d, _, err := recoverTracker(nil, nil, filepath.Join(dir, "default"), durableSpec.Config(), 0, nil)
 	if err != nil {
 		t.Fatalf("recovery after Close: %v", err)
 	}
@@ -338,7 +339,7 @@ func TestDataDirLock(t *testing.T) {
 // strand them behind what replay treats as the torn tail.
 func TestWALRollbackPoison(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := openWAL(path)
+	w, err := openWAL(fault.OS(), path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +360,7 @@ func TestWALRollbackPoison(t *testing.T) {
 		t.Fatalf("poisoned WAL accepted an append (err = %v)", err)
 	}
 	// The record synced before the failure is still replayable.
-	batches, actions, err := replayWAL(path, func([]sim.Action) error { return nil })
+	batches, actions, err := replayWAL(fault.OS(), path, func([]sim.Action) error { return nil })
 	if err != nil || batches != 1 || actions != 1 {
 		t.Fatalf("replay after poison: batches=%d actions=%d err=%v", batches, actions, err)
 	}

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/fault"
 )
 
 // lockDataDir on platforms without flock only creates the marker file;
 // single-process use of a data directory is not enforced there.
-func lockDataDir(dir string) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
+func lockDataDir(fs fault.FS, dir string) (fault.File, error) {
+	f, err := fs.OpenFile(filepath.Join(dir, lockFileName), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("server: opening data-dir lock: %w", err)
 	}

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"syscall"
+
+	"repro/internal/fault"
 )
 
 // lockDataDir takes an exclusive, non-blocking advisory flock on
@@ -15,10 +17,11 @@ import (
 // WAL appends through their O_APPEND handles and race snapshot renames —
 // the second process must fail fast instead. The lock lives as long as
 // the returned file handle (released automatically by the kernel if the
-// process dies, so a kill -9 never leaves a stale lock).
-func lockDataDir(dir string) (*os.File, error) {
+// process dies, so a kill -9 never leaves a stale lock). The open goes
+// through the fault.FS seam; the flock itself acts on the real descriptor.
+func lockDataDir(fs fault.FS, dir string) (fault.File, error) {
 	path := filepath.Join(dir, lockFileName)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("server: opening data-dir lock: %w", err)
 	}

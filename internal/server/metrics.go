@@ -18,6 +18,11 @@ import (
 //	simserve_elements_fed_total{tracker="..."}       oracle updates (the O(d·N) term)
 //	simserve_queue_depth{tracker="..."}              commands waiting for the ingest loop
 //	simserve_queue_capacity{tracker="..."}           ingest queue bound
+//	simserve_queue_high_water{tracker="..."}         deepest the queue has been
+//	simserve_shed_total{tracker="..."}               ingests rejected 429 by admission control
+//	simserve_snapshot_retries_total{tracker="..."}   failed snapshot-write attempts
+//	simserve_wal_rearms_total{tracker="..."}         durability re-arms after poisoning
+//	simserve_state{tracker="..."}                    0 ok, 1 degraded-readonly, 2 recovering
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "simserve_uptime_seconds %g\n", time.Since(s.started).Seconds())
@@ -41,5 +46,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "simserve_elements_fed_total{tracker=%q} %d\n", name, snap.ElementsFed)
 		fmt.Fprintf(w, "simserve_queue_depth{tracker=%q} %d\n", name, depth)
 		fmt.Fprintf(w, "simserve_queue_capacity{tracker=%q} %d\n", name, capacity)
+		retries, rearms, shed, highWater := t.Counters()
+		fmt.Fprintf(w, "simserve_queue_high_water{tracker=%q} %d\n", name, highWater)
+		fmt.Fprintf(w, "simserve_shed_total{tracker=%q} %d\n", name, shed)
+		fmt.Fprintf(w, "simserve_snapshot_retries_total{tracker=%q} %d\n", name, retries)
+		fmt.Fprintf(w, "simserve_wal_rearms_total{tracker=%q} %d\n", name, rearms)
+		fmt.Fprintf(w, "simserve_state{tracker=%q} %d\n", name, t.State())
 	}
 }

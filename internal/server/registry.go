@@ -13,6 +13,7 @@ import (
 
 	"repro/api"
 	"repro/intern"
+	"repro/internal/fault"
 	"repro/sim"
 )
 
@@ -20,9 +21,58 @@ import (
 // registry) has started draining.
 var ErrClosed = errors.New("server: tracker is draining")
 
+// ErrOverloaded is returned by Submit and Query when the ingest queue stays
+// full past the enqueue deadline: the tracker is shedding load (HTTP 429)
+// instead of wedging its callers behind a slow consumer. The command was
+// NOT enqueued; retry after backing off.
+var ErrOverloaded = errors.New("server: ingest queue overloaded")
+
+// ErrReadOnly is returned by Submit while a durable tracker is in
+// degraded-readonly mode: its WAL (or names log) is poisoned, so ingest
+// would lose the durability guarantee. Reads and queries keep answering
+// from the published snapshot; ingest resumes automatically once the
+// periodic probe re-arms the log (HTTP 503 + Retry-After meanwhile).
+var ErrReadOnly = errors.New("server: tracker is read-only (degraded durability)")
+
 // defaultQueueLen is the ingest queue capacity, in commands, when a Spec
 // does not set one.
 const defaultQueueLen = 256
+
+// DefaultEnqueueDeadline bounds how long Submit/Query wait for space in a
+// full ingest queue before shedding with ErrOverloaded, when the Spec does
+// not set its own deadline.
+const DefaultEnqueueDeadline = 2 * time.Second
+
+// rearmProbeInterval paces the degraded-readonly recovery probe (and is a
+// variable so the chaos tests can compress time).
+var rearmProbeInterval = 1 * time.Second
+
+// TrackerState is the serving state of one tracker, reported by
+// /v1/healthz and /v1/trackers/{name}/metrics.
+type TrackerState int32
+
+const (
+	// StateOK: fully serving; ingest and reads both available.
+	StateOK TrackerState = iota
+	// StateDegradedReadOnly: the durable log is poisoned; reads and queries
+	// keep answering, ingest sheds with 503 until the disk heals.
+	StateDegradedReadOnly
+	// StateRecovering: a re-arm probe is in flight (fresh snapshot + log
+	// recreation); transitions to ok on success, back to degraded on
+	// failure.
+	StateRecovering
+)
+
+func (s TrackerState) String() string {
+	switch s {
+	case StateDegradedReadOnly:
+		return "degraded-readonly"
+	case StateRecovering:
+		return "recovering"
+	default:
+		return "ok"
+	}
+}
 
 // command is one unit of work for a Tracked's single-writer loop: either an
 // ingest batch or a read closure. reply (when non-nil) receives the batch's
@@ -75,6 +125,19 @@ type Tracked struct {
 	dur       *durability
 	recovered RecoveryInfo
 
+	// state is the serving state (ok / degraded-readonly / recovering),
+	// written by the ingest loop, read by handlers and Submit.
+	state atomic.Int32
+
+	// enqueueDeadline bounds the wait for space in a full queue before
+	// shedding (ErrOverloaded); < 0 means block until the context expires
+	// (the pre-admission-control behavior).
+	enqueueDeadline time.Duration
+	// shed counts commands rejected by the enqueue deadline; qHighWater is
+	// the deepest the queue has been at an enqueue.
+	shed       atomic.Int64
+	qHighWater atomic.Int64
+
 	mu         sync.Mutex // guards closed
 	closed     bool
 	submitters sync.WaitGroup // enqueues in flight past the closed check
@@ -91,8 +154,8 @@ type Tracked struct {
 // newTracked builds the tracker for spec and starts its ingest loop. A
 // non-empty dataDir makes the tracker durable: its state is recovered from
 // dataDir (snapshot + WAL replay) and every subsequent batch is logged
-// before it is applied.
-func newTracked(name string, spec api.Spec, dataDir string) (*Tracked, error) {
+// before it is applied. fs/clock are the environment seam (nil = real).
+func newTracked(name string, spec api.Spec, dataDir string, fs fault.FS, clock fault.Clock) (*Tracked, error) {
 	var (
 		tr    *sim.Tracker
 		dur   *durability
@@ -104,7 +167,7 @@ func newTracked(name string, spec api.Spec, dataDir string) (*Tracked, error) {
 		names = intern.New(spec.ExpectedUsers)
 	}
 	if dataDir != "" {
-		tr, dur, info, err = recoverTracker(dataDir, spec.Config(), spec.SnapshotWALBytes, names)
+		tr, dur, info, err = recoverTracker(fs, clock, dataDir, spec.Config(), spec.SnapshotWALBytes, names)
 	} else {
 		tr, err = sim.New(spec.Config())
 	}
@@ -115,17 +178,22 @@ func newTracked(name string, spec api.Spec, dataDir string) (*Tracked, error) {
 	if queue <= 0 {
 		queue = defaultQueueLen
 	}
+	deadline := DefaultEnqueueDeadline
+	if spec.EnqueueDeadlineMillis != 0 {
+		deadline = time.Duration(spec.EnqueueDeadlineMillis) * time.Millisecond
+	}
 	t := &Tracked{
-		name:      name,
-		spec:      spec,
-		tr:        tr,
-		in:        make(chan command, queue),
-		quit:      make(chan struct{}),
-		done:      make(chan struct{}),
-		started:   time.Now(),
-		names:     names,
-		dur:       dur,
-		recovered: info,
+		name:            name,
+		spec:            spec,
+		tr:              tr,
+		in:              make(chan command, queue),
+		quit:            make(chan struct{}),
+		done:            make(chan struct{}),
+		started:         time.Now(),
+		names:           names,
+		dur:             dur,
+		recovered:       info,
+		enqueueDeadline: deadline,
 	}
 	t.publish() // queries before the first ingest see the recovered snapshot
 	go t.loop()
@@ -147,6 +215,25 @@ func (t *Tracked) DurabilityError() string {
 		return ""
 	}
 	return t.dur.snapshotErr()
+}
+
+// State returns the tracker's serving state: StateOK, or — for durable
+// trackers whose log is poisoned — StateDegradedReadOnly/StateRecovering.
+// In the degraded states snapshot reads and queries keep answering; only
+// ingest is refused (503 + Retry-After) until the recovery probe re-arms
+// the log.
+func (t *Tracked) State() TrackerState { return TrackerState(t.state.Load()) }
+
+// Counters returns the tracker's robustness counters: failed snapshot
+// attempts (retried with backoff), poisoned-WAL re-arms, requests shed by
+// the enqueue deadline, and the ingest queue's high-water depth. Safe from
+// any goroutine.
+func (t *Tracked) Counters() (snapshotRetries, walRearms, shedRequests, queueHighWater int64) {
+	if t.dur != nil {
+		snapshotRetries = t.dur.snapRetries.Load()
+		walRearms = t.dur.rearms.Load()
+	}
+	return snapshotRetries, walRearms, t.shed.Load(), t.qHighWater.Load()
 }
 
 // Name returns the tracker's registry name.
@@ -176,52 +263,104 @@ func (t *Tracked) Snapshot() *sim.Snapshot { return t.snap.Load() }
 func (t *Tracked) PrevSnapshot() *sim.Snapshot { return t.prev.Load() }
 
 // loop is the single writer: it owns t.tr, applies commands in arrival
-// order, and republishes the read snapshot after each one. It exits when
-// the command channel is closed (by Close) after draining everything still
-// queued — the graceful-drain guarantee.
+// order, and republishes the read snapshot after each one. Durable trackers
+// additionally run a periodic recovery probe: while the durable path is
+// poisoned (degraded-readonly), each tick attempts a re-arm — fresh
+// covering snapshot, WAL recreated empty — so ingest resumes by itself once
+// the disk heals. The loop exits when the command channel is closed (by
+// Close) after draining everything still queued — the graceful-drain
+// guarantee.
 func (t *Tracked) loop() {
 	defer close(t.done)
-	for c := range t.in {
-		var err error
-		switch {
-		case c.batch != nil:
-			// Durable trackers log the batch (fsync included) before
-			// applying it: once the caller sees success, the actions are on
-			// disk. A WAL failure rejects the batch unapplied — the
-			// in-memory state never runs ahead of the log. Name-mode
-			// trackers persist newly interned names first, so every ID a
-			// WAL batch references is resolvable on recovery.
-			if t.dur != nil {
-				if t.names != nil {
-					err = t.dur.logNames(t.names)
+	var probeC <-chan time.Time
+	if t.dur != nil {
+		probe := time.NewTicker(rearmProbeInterval)
+		defer probe.Stop()
+		probeC = probe.C
+	}
+	for {
+		select {
+		case c, ok := <-t.in:
+			if !ok {
+				// Drained: take a final snapshot so the next boot skips WAL
+				// replay entirely. Still on the loop goroutine, so t.tr is
+				// safe to serialize.
+				if t.dur != nil {
+					t.dur.maybeSnapshot(t.tr, true)
+					t.dur.close()
 				}
-				if err == nil {
-					err = t.dur.logBatch(c.batch)
-				}
+				return
+			}
+			t.apply(c)
+		case <-probeC:
+			t.tryRearm()
+		}
+	}
+}
+
+// apply executes one command on the loop goroutine.
+func (t *Tracked) apply(c command) {
+	var err error
+	switch {
+	case c.batch != nil:
+		// Durable trackers log the batch (fsync included) before
+		// applying it: once the caller sees success, the actions are on
+		// disk. A WAL failure rejects the batch unapplied — the
+		// in-memory state never runs ahead of the log. Name-mode
+		// trackers persist newly interned names first, so every ID a
+		// WAL batch references is resolvable on recovery.
+		if t.dur != nil && t.dur.poisoned() {
+			// Read-only until the probe re-arms the log: accepting the
+			// batch would acknowledge an action the poisoned log cannot
+			// make durable.
+			err = ErrReadOnly
+		} else if t.dur != nil {
+			if t.names != nil {
+				err = t.dur.logNames(t.names)
 			}
 			if err == nil {
-				err = t.tr.ProcessAll(c.batch)
+				err = t.dur.logBatch(c.batch)
 			}
-			t.publish()
-			if t.dur != nil {
+		}
+		if err == nil {
+			err = t.tr.ProcessAll(c.batch)
+		}
+		t.publish()
+		if t.dur != nil {
+			if t.dur.poisoned() {
+				// This batch's failure (or an earlier one's) left junk the
+				// rollback could not remove: flip to degraded-readonly; the
+				// probe takes it from here.
+				t.state.Store(int32(StateDegradedReadOnly))
+			} else {
 				t.dur.maybeSnapshot(t.tr, false)
 			}
-		case c.query != nil:
-			c.query(t.tr)
-			// Queries flush actions buffered by sim batching, which can
-			// sharpen the answer; keep the published snapshot in step.
-			t.publish()
 		}
-		if c.reply != nil {
-			c.reply <- outcome{err: err, processed: t.snap.Load().Processed}
-		}
+	case c.query != nil:
+		c.query(t.tr)
+		// Queries flush actions buffered by sim batching, which can
+		// sharpen the answer; keep the published snapshot in step.
+		t.publish()
 	}
-	// Drained: take a final snapshot so the next boot skips WAL replay
-	// entirely. Still on the loop goroutine, so t.tr is safe to serialize.
-	if t.dur != nil {
-		t.dur.maybeSnapshot(t.tr, true)
-		t.dur.close()
+	if c.reply != nil {
+		c.reply <- outcome{err: err, processed: t.snap.Load().Processed}
 	}
+}
+
+// tryRearm attempts to recover a poisoned durable path, on the loop
+// goroutine. The state dance is observable: recovering while the probe
+// runs, ok on success, back to degraded-readonly on failure (the probe
+// fires again next tick, paced by the snapshot backoff schedule).
+func (t *Tracked) tryRearm() {
+	if t.dur == nil || !t.dur.poisoned() {
+		return
+	}
+	t.state.Store(int32(StateRecovering))
+	if t.dur.rearm(t.tr) {
+		t.state.Store(int32(StateOK))
+		return
+	}
+	t.state.Store(int32(StateDegradedReadOnly))
 }
 
 // publish refreshes the shared read snapshot, rotating the old one into
@@ -236,9 +375,12 @@ func (t *Tracked) publish() {
 	t.snap.Store(&s)
 }
 
-// enqueue hands c to the loop, blocking while the queue is full (this is
-// the ingest backpressure). It fails with ErrClosed once draining has
-// begun and with ctx.Err() if the caller's context expires first.
+// enqueue hands c to the loop. A full queue applies backpressure only up
+// to the tracker's enqueue deadline; past it the command is shed with
+// ErrOverloaded (admission control: a wedged consumer must not wedge HTTP
+// handlers too). It fails with ErrClosed once draining has begun and with
+// ctx.Err() if the caller's context expires first. A negative deadline
+// restores the unbounded-blocking behavior.
 func (t *Tracked) enqueue(ctx context.Context, c command) error {
 	t.mu.Lock()
 	if t.closed {
@@ -250,11 +392,46 @@ func (t *Tracked) enqueue(ctx context.Context, c command) error {
 	defer t.submitters.Done()
 	select {
 	case t.in <- c:
+		t.noteQueueDepth()
 		return nil
+	default:
+	}
+	if t.enqueueDeadline < 0 { // explicit opt-out: block until ctx/close
+		select {
+		case t.in <- c:
+			t.noteQueueDepth()
+			return nil
+		case <-t.quit:
+			return ErrClosed
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	timer := time.NewTimer(t.enqueueDeadline)
+	defer timer.Stop()
+	select {
+	case t.in <- c:
+		t.noteQueueDepth()
+		return nil
+	case <-timer.C:
+		t.shed.Add(1)
+		return ErrOverloaded
 	case <-t.quit:
 		return ErrClosed
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// noteQueueDepth records the queue's depth after an enqueue in the
+// high-water gauge.
+func (t *Tracked) noteQueueDepth() {
+	depth := int64(len(t.in))
+	for {
+		hw := t.qHighWater.Load()
+		if depth <= hw || t.qHighWater.CompareAndSwap(hw, depth) {
+			return
+		}
 	}
 }
 
@@ -329,11 +506,30 @@ type Registry struct {
 	mu       sync.RWMutex
 	trackers map[string]*Tracked
 	dataDir  string
+	fs       fault.FS
+	clock    fault.Clock
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{trackers: make(map[string]*Tracked)}
+}
+
+// SetFS routes all durable-path filesystem access of trackers added
+// afterwards through fs — the fault-injection seam. Call before Add; nil
+// (the default) means the real filesystem.
+func (r *Registry) SetFS(fs fault.FS) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fs = fs
+}
+
+// SetClock overrides the time source of trackers added afterwards (backoff
+// schedules); nil means the wall clock. Call before Add.
+func (r *Registry) SetClock(c fault.Clock) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock = c
 }
 
 // SetDataDir enables durability for trackers added afterwards: each gets
@@ -373,7 +569,7 @@ func (r *Registry) Add(name string, spec api.Spec) (*Tracked, error) {
 		}
 		dir = filepath.Join(r.dataDir, name)
 	}
-	t, err := newTracked(name, spec, dir)
+	t, err := newTracked(name, spec, dir, r.fs, r.clock)
 	if err != nil {
 		return nil, fmt.Errorf("server: tracker %q: %w", name, err)
 	}

@@ -9,8 +9,11 @@
 // sim.Tracker behind a single-writer ingest goroutine fed by a bounded
 // command channel: POST bodies, replay batches and read closures all enter
 // that queue, so the tracker only ever sees one goroutine and ingestion
-// order is total. A full queue blocks producers — backpressure, not load
-// shedding. After every applied command the loop publishes an immutable
+// order is total. A full queue applies backpressure briefly, then admission
+// control sheds the request (ErrOverloaded → 429) once it has waited past
+// the tracker's enqueue deadline, so a wedged loop cannot wedge every HTTP
+// handler goroutine with it. After every applied command the loop
+// publishes an immutable
 // sim.Snapshot through an atomic pointer; the GET handlers for seeds,
 // value, window, checkpoints and stats — and the relational /query endpoint
 // (package query) — read only that snapshot and therefore never contend
@@ -89,6 +92,7 @@ func New(reg *Registry) *Server {
 	s.mux.HandleFunc("GET /v1/trackers/{name}/window", s.handleWindow)
 	s.mux.HandleFunc("GET /v1/trackers/{name}/checkpoints", s.handleCheckpoints)
 	s.mux.HandleFunc("GET /v1/trackers/{name}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/trackers/{name}/metrics", s.handleTrackerMetrics)
 	s.mux.HandleFunc("GET /v1/trackers/{name}/influence", s.handleInfluence)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -101,24 +105,35 @@ func New(reg *Registry) *Server {
 
 // handleHealth serves the structured probe endpoint (the plain /healthz
 // stays as the minimal liveness check). Status degrades when a durable
-// tracker's snapshot writes are failing: ingestion still works and the WAL
-// keeps every batch, but the log grows unbounded until the condition —
-// reported per tracker in "degraded" — clears.
+// tracker's snapshot writes are failing (ingestion still works, the WAL
+// keeps every batch, but the log grows until the condition clears) or when
+// a tracker's durability path is poisoned outright and it is serving in
+// degraded-readonly mode; per-tracker detail lives in "degraded" (latest
+// failure message) and "states" (serving state).
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	names := s.reg.Names()
 	var degraded map[string]string
+	var states map[string]string
 	for _, n := range names {
-		if t, ok := s.reg.Get(n); ok {
-			if msg := t.DurabilityError(); msg != "" {
-				if degraded == nil {
-					degraded = make(map[string]string)
-				}
-				degraded[n] = msg
+		t, ok := s.reg.Get(n)
+		if !ok {
+			continue
+		}
+		if msg := t.DurabilityError(); msg != "" {
+			if degraded == nil {
+				degraded = make(map[string]string)
 			}
+			degraded[n] = msg
+		}
+		if st := t.State(); st != StateOK {
+			if states == nil {
+				states = make(map[string]string)
+			}
+			states[n] = st.String()
 		}
 	}
 	status := "ok"
-	if len(degraded) > 0 {
+	if len(degraded) > 0 || len(states) > 0 {
 		status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, api.HealthResponse{
@@ -129,6 +144,30 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Durable:       s.reg.DataDir() != "",
 		Degraded:      degraded,
+		States:        states,
+	})
+}
+
+// handleTrackerMetrics serves one tracker's self-healing and admission
+// counters: serving state, snapshot retry / WAL re-arm / shed totals and
+// the queue high-water mark. The JSON sibling of the Prometheus /metrics
+// endpoint, for scripts and tests that want typed access.
+func (s *Server) handleTrackerMetrics(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tracked(w, r)
+	if !ok {
+		return
+	}
+	retries, rearms, shed, highWater := t.Counters()
+	depth, capacity := t.QueueDepth()
+	writeJSON(w, http.StatusOK, api.TrackerMetricsResponse{
+		State:               t.State().String(),
+		SnapshotRetries:     retries,
+		WALRearms:           rearms,
+		ShedRequests:        shed,
+		QueueDepthHighWater: highWater,
+		QueueDepth:          depth,
+		QueueCapacity:       capacity,
+		DurabilityError:     t.DurabilityError(),
 	})
 }
 
@@ -156,6 +195,18 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, api.ErrorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
+// retryAfterHint is the Retry-After value (seconds) sent with 429 and 503
+// responses. Coarse on purpose: it tells well-behaved clients to back off,
+// not when recovery will actually finish.
+const retryAfterHint = "1"
+
+// writeRetryable emits a 429/503 with a Retry-After header, the signal
+// that the request was NOT applied and may safely be retried.
+func writeRetryable(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Retry-After", retryAfterHint)
+	writeError(w, code, format, args...)
+}
+
 // tracked resolves the {name} path value, answering 404 when unknown.
 func (s *Server) tracked(w http.ResponseWriter, r *http.Request) (*Tracked, bool) {
 	name := r.PathValue("name")
@@ -173,10 +224,19 @@ func (s *Server) tracked(w http.ResponseWriter, r *http.Request) (*Tracked, bool
 // ever sees dense IDs. Responses: 200 IngestResponse, 400 for malformed
 // NDJSON (including a numeric user on a name-mode tracker and vice versa),
 // 409 for stream-order violations (non-monotonic IDs, future parents), 413
-// over the body cap, 500 for a WAL append failure, 503 while draining.
+// over the body cap, 429 when admission control sheds the request, 503
+// while draining, after a WAL append failure, or while the tracker is in
+// degraded-readonly mode — all three 503 causes guarantee the batch was
+// not applied, so retrying is safe.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	t, ok := s.tracked(w, r)
 	if !ok {
+		return
+	}
+	if t.State() == StateDegradedReadOnly {
+		// Fast path: no point parsing megabytes of NDJSON that the loop
+		// will refuse. Reads stay up; ingest resumes after the re-arm.
+		writeRetryable(w, http.StatusServiceUnavailable, "%v", ErrReadOnly)
 		return
 	}
 	maxBody := s.MaxBodyBytes
@@ -215,14 +275,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		processed, err = t.Submit(r.Context(), batch)
 		if err != nil {
 			switch {
+			case errors.Is(err, ErrOverloaded):
+				// Admission control: the queue stayed full past the
+				// enqueue deadline. Shed, not applied — back off and retry.
+				writeRetryable(w, http.StatusTooManyRequests, "%v", err)
+			case errors.Is(err, ErrReadOnly):
+				// Degraded-readonly: the durability path is poisoned.
+				// Rejected unapplied; the tracker re-arms itself when the
+				// disk heals.
+				writeRetryable(w, http.StatusServiceUnavailable, "%v", err)
+			case errors.Is(err, ErrDurability):
+				// WAL append failed: the batch was rejected unapplied so
+				// the log never lags the tracker. Retryable server fault.
+				writeRetryable(w, http.StatusServiceUnavailable, "%v", err)
 			case errors.Is(err, ErrClosed),
 				errors.Is(err, context.Canceled),
 				errors.Is(err, context.DeadlineExceeded):
 				writeError(w, http.StatusServiceUnavailable, "%v", err)
-			case errors.Is(err, ErrDurability):
-				// WAL append failed: the batch was rejected unapplied so
-				// the log never lags the tracker. Retryable server fault.
-				writeError(w, http.StatusInternalServerError, "%v", err)
 			default:
 				// Stream-order violation: the batch aborted at the
 				// offending action; everything before it is applied.
@@ -419,6 +488,10 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 		resp.Count = len(resp.Influenced)
 	})
 	if qErr != nil {
+		if errors.Is(qErr, ErrOverloaded) {
+			writeRetryable(w, http.StatusTooManyRequests, "%v", qErr)
+			return
+		}
 		writeError(w, http.StatusServiceUnavailable, "%v", qErr)
 		return
 	}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/wire"
 	"repro/sim"
 )
@@ -37,7 +38,10 @@ import (
 // replay stop early and drop batches acknowledged after them; if the
 // rollback itself fails the log is poisoned — every later append is
 // refused — which keeps the invariant that acknowledged records are never
-// preceded by junk.
+// preceded by junk. A poisoned log is not terminal: once a fresh snapshot
+// has made every acknowledged batch durable again, rearm recreates the log
+// empty (junk and all gone) and appends resume — the serving layer's
+// degraded-readonly → recovering → ok cycle (see registry.go).
 
 // walRecordTag starts every WAL record.
 const walRecordTag = byte('B')
@@ -46,9 +50,12 @@ const walRecordTag = byte('B')
 // the tail fails fast instead of attempting a giant allocation.
 const maxWALRecordBytes = 1 << 30
 
-// wal is an append-only, fsync-per-append batch log.
+// wal is an append-only, fsync-per-append batch log. All file access goes
+// through the fault.FS seam so every failure edge (short write, ENOSPC,
+// fsync error, failed rollback) is injectable.
 type wal struct {
-	f      *os.File
+	fs     fault.FS
+	f      fault.File
 	path   string
 	size   int64        // current file size, the snapshot-policy input
 	buf    bytes.Buffer // payload scratch, reused across appends
@@ -57,8 +64,8 @@ type wal struct {
 }
 
 // openWAL opens (creating if needed) the log at path for appending.
-func openWAL(path string) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+func openWAL(fs fault.FS, path string) (*wal, error) {
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("server: opening WAL: %w", err)
 	}
@@ -67,7 +74,7 @@ func openWAL(path string) (*wal, error) {
 		f.Close()
 		return nil, fmt.Errorf("server: opening WAL: %w", err)
 	}
-	return &wal{f: f, path: path, size: st.Size()}, nil
+	return &wal{fs: fs, f: f, path: path, size: st.Size()}, nil
 }
 
 // append frames, writes and fsyncs one batch. Only after append returns nil
@@ -144,6 +151,24 @@ func (w *wal) reset() error {
 	return nil
 }
 
+// rearm recovers a poisoned log by recreating it empty: close the (possibly
+// unusable) handle and reopen with O_TRUNC, dropping any rollback junk.
+// Callers MUST have persisted a snapshot covering every acknowledged batch
+// first — rearm discards the log's contents. A crash between that snapshot's
+// rename and this truncate is safe: replay skips snapshot-covered records by
+// ID and stops at the junk tail, before which every record is covered.
+func (w *wal) rearm() error {
+	_ = w.f.Close() // best effort; the fd may already be dead
+	f, err := w.fs.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: WAL rearm: %w", err)
+	}
+	w.f = f
+	w.size = 0
+	w.broken = nil
+	return nil
+}
+
 // close releases the file handle.
 func (w *wal) close() error { return w.f.Close() }
 
@@ -151,8 +176,8 @@ func (w *wal) close() error { return w.f.Close() }
 // tolerates a torn tail (see the package comment above): parsing stops
 // cleanly at the first incomplete or checksum-failing frame. A missing file
 // is an empty log. apply errors abort the replay.
-func replayWAL(path string, apply func(batch []sim.Action) error) (batches, actions int, err error) {
-	f, err := os.Open(path)
+func replayWAL(fs fault.FS, path string, apply func(batch []sim.Action) error) (batches, actions int, err error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, 0, nil
 	}
