@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-check fmt fmt-check vet lint ci serve serve-smoke recover-smoke chaos-smoke
+.PHONY: all build test race bench bench-json bench-check fmt fmt-check vet lint ci serve serve-smoke recover-smoke chaos-smoke cluster-smoke fuzz-smoke cover
 
 all: build
 
@@ -65,6 +65,27 @@ recover-smoke:
 chaos-smoke:
 	sh ./scripts/chaos_smoke.sh
 
+# End-to-end sharded-serving smoke (also a CI step): boot two simserve
+# shards behind a simrouter, ingest through the router (consistent-hash
+# partitioned), assert merged seeds/value/cluster health, kill one shard
+# and assert flagged partial results without router downtime.
+cluster-smoke:
+	sh ./scripts/cluster_smoke.sh
+
+# Short fuzz runs of the three hand-written parsers (also a CI step): the
+# SIM2 snapshot container, the stream-format sniffer, and the -fault rule
+# grammar. Seed corpora live in testdata/fuzz/; new crashers land there too.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotReader -fuzztime=$(FUZZTIME) ./internal/dataio/
+	$(GO) test -run='^$$' -fuzz=FuzzReadAuto -fuzztime=$(FUZZTIME) ./internal/dataio/
+	$(GO) test -run='^$$' -fuzz=FuzzParseRules -fuzztime=$(FUZZTIME) ./internal/fault/
+
+# Aggregate coverage profile (also uploaded as a CI artifact).
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
 fmt:
 	gofmt -w .
 
@@ -85,4 +106,4 @@ lint: vet
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-ci: fmt-check lint build race bench serve-smoke recover-smoke chaos-smoke bench-check
+ci: fmt-check lint build race bench serve-smoke recover-smoke chaos-smoke cluster-smoke fuzz-smoke bench-check

@@ -19,8 +19,16 @@
 //	GET  /v1/trackers/{name}/stats               StatsResponse
 //	GET  /v1/trackers/{name}/metrics             TrackerMetricsResponse
 //	GET  /v1/trackers/{name}/influence?user=U    InfluenceResponse
+//	GET  /v1/trackers/{name}/candidates          CandidatesResponse
 //	POST /v1/trackers/{name}/query               QueryRequest -> QueryResponse
 //	GET  /metrics                                Prometheus text format
+//
+// A scatter-gather router (cmd/simrouter) serves the same tracker routes
+// over a shard fleet, plus a cluster-shaped GET /v1/healthz
+// (ClusterHealthResponse). When a shard is down the router answers merged
+// reads from the survivors, sets the X-Partial: true response header, and
+// marks the DTO's Partial field — callers choose between a partial answer
+// and an error, the router never fails the whole read for one dead shard.
 //
 // # Error contract
 //
@@ -167,18 +175,25 @@ type SeedsResponse struct {
 	// Names carries the seeds' external names, index-aligned with Seeds,
 	// on name-mode trackers only.
 	Names []string `json:"names,omitempty"`
+	// Partial marks a router answer computed without every shard (see the
+	// package comment); never set by a single server.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // ValueResponse answers GET /v1/trackers/{name}/value.
 type ValueResponse struct {
 	Value     float64 `json:"value"`
 	Processed int64   `json:"processed"`
+	// Partial marks a router answer computed without every shard.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // WindowResponse answers GET /v1/trackers/{name}/window.
 type WindowResponse struct {
 	WindowStart sim.ActionID `json:"window_start"`
 	Processed   int64        `json:"processed"`
+	// Partial marks a router answer computed without every shard.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // CheckpointsResponse answers GET /v1/trackers/{name}/checkpoints: the live
@@ -187,6 +202,45 @@ type CheckpointsResponse struct {
 	Checkpoints int            `json:"checkpoints"`
 	Starts      []sim.ActionID `json:"starts"`
 	Values      []float64      `json:"values"`
+	// Partial marks a router answer computed without every shard.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// CandidateSeed is one entry of CandidatesResponse: a shard-local candidate
+// seed together with its current influence set — everything a merge layer
+// needs to re-score the candidate against candidates from other partitions.
+type CandidateSeed struct {
+	User sim.UserID `json:"user"`
+	// Name is the candidate's external name on name-mode trackers. Dense
+	// numeric IDs are per-tracker intern order and NOT comparable across
+	// trackers; names are the only cross-shard identity in name mode.
+	Name string `json:"name,omitempty"`
+	// Influenced is the candidate's current influence set within the
+	// window (Definition 1), ascending.
+	Influenced []sim.UserID `json:"influenced"`
+	// InfluencedNames carries the influence set as external names,
+	// index-aligned with Influenced, on name-mode trackers only.
+	InfluencedNames []string `json:"influenced_names,omitempty"`
+	// Coverage is the influence objective of this candidate alone
+	// (cardinality of Influenced under the default unweighted objective).
+	Coverage float64 `json:"coverage"`
+}
+
+// CandidatesResponse answers GET /v1/trackers/{name}/candidates: the
+// answering checkpoint's full candidate pool (a superset of /seeds for the
+// sieve-style oracles) with per-candidate influence sets. This is the
+// shard-local half of the distributed two-round scheme: a router unions the
+// pools of every shard and runs one exact greedy pass over the reported
+// sets (see internal/router).
+type CandidatesResponse struct {
+	Candidates []CandidateSeed `json:"candidates"`
+	// K echoes the tracker's cardinality budget.
+	K int `json:"k"`
+	// Value is the shard-local sieve objective of the tracker's own /seeds
+	// answer, for comparison against the re-scored merge.
+	Value       float64      `json:"value"`
+	WindowStart sim.ActionID `json:"window_start"`
+	Processed   int64        `json:"processed"`
 }
 
 // InfluenceResponse answers GET /v1/trackers/{name}/influence?user=U: the
@@ -210,6 +264,8 @@ type TrackerInfo struct {
 // ListResponse answers GET /v1/trackers.
 type ListResponse struct {
 	Trackers []TrackerInfo `json:"trackers"`
+	// Partial marks a router answer computed without every shard.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // StatsResponse answers GET /v1/trackers/{name}/stats: the sim.Stats view
@@ -220,6 +276,8 @@ type StatsResponse struct {
 	CheckpointsDeleted int64     `json:"checkpoints_deleted"`
 	QueueDepth         int       `json:"queue_depth"`
 	QueueCapacity      int       `json:"queue_capacity"`
+	// Partial marks a router answer computed without every shard.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // HealthResponse answers GET /v1/healthz: build info plus the coarse
@@ -244,6 +302,40 @@ type HealthResponse struct {
 	// re-arms), or "recovering" (a re-arm attempt is in flight). Status is
 	// "degraded" whenever any tracker is not "ok".
 	States map[string]string `json:"states,omitempty"`
+	// Refused maps tracker names that were declared in the spec but refused
+	// at startup (e.g. batch > 1 with -data-dir: batched recovery cannot
+	// guarantee identity) to the refusal reason. Refused trackers answer
+	// every /v1/trackers/{name}/... request with 503 and the same reason
+	// through the standard error contract, so a probe and a client see one
+	// consistent story. Status is "degraded" whenever Refused is non-empty.
+	Refused map[string]string `json:"refused,omitempty"`
+}
+
+// ShardHealth is one shard's entry in ClusterHealthResponse, as observed by
+// the router's last contact (a proxied probe or a failed fan-out call).
+type ShardHealth struct {
+	// Addr is the shard's base URL as configured on the router.
+	Addr string `json:"addr"`
+	// Healthy reports whether the router currently considers the shard
+	// reachable; unhealthy shards are skipped by reads (Partial results)
+	// and re-probed in the background.
+	Healthy bool `json:"healthy"`
+	// Error is the last transport failure observed, for unhealthy shards.
+	Error string `json:"error,omitempty"`
+	// Status/Trackers echo the shard's own /v1/healthz when reachable.
+	Status   string `json:"status,omitempty"`
+	Trackers int    `json:"trackers,omitempty"`
+}
+
+// ClusterHealthResponse answers GET /v1/healthz on a router
+// (cmd/simrouter): per-shard health plus the rolled-up status — "ok" when
+// every shard is healthy and reports "ok", "degraded" otherwise.
+type ClusterHealthResponse struct {
+	Status  string        `json:"status"`
+	Version string        `json:"version"`
+	Shards  []ShardHealth `json:"shards"`
+	// Healthy counts the shards currently considered reachable.
+	Healthy int `json:"healthy"`
 }
 
 // TrackerMetricsResponse answers GET /v1/trackers/{name}/metrics: the
@@ -295,6 +387,8 @@ type QueryResponse struct {
 	// Processed / WindowStart identify the snapshot the query ran against.
 	Processed   int64        `json:"processed"`
 	WindowStart sim.ActionID `json:"window_start"`
+	// Partial marks a router answer computed without every shard.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON response; Code repeats

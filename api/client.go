@@ -277,6 +277,23 @@ func (c *Client) TrackerMetrics(ctx context.Context, name string) (TrackerMetric
 	return out, err
 }
 
+// Candidates fetches GET /v1/trackers/{name}/candidates: the answering
+// checkpoint's candidate pool with per-candidate influence sets, the
+// shard-local half of the router's distributed seed selection.
+func (c *Client) Candidates(ctx context.Context, name string) (CandidatesResponse, error) {
+	var out CandidatesResponse
+	err := c.do(ctx, http.MethodGet, trackerPath(name, "/candidates"), "", nil, &out, true)
+	return out, err
+}
+
+// ClusterHealth fetches GET /v1/healthz from a router (cmd/simrouter),
+// which answers with the cluster-shaped DTO instead of HealthResponse.
+func (c *Client) ClusterHealth(ctx context.Context) (ClusterHealthResponse, error) {
+	var out ClusterHealthResponse
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", "", nil, &out, true)
+	return out, err
+}
+
 // Influence fetches GET /v1/trackers/{name}/influence?user=U. user is a
 // decimal ID on numeric trackers and an external name on name-mode ones.
 func (c *Client) Influence(ctx context.Context, name, user string) (InfluenceResponse, error) {

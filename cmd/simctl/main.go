@@ -31,10 +31,10 @@ import (
 	"repro/sim"
 )
 
-const usage = `usage: simctl [-addr URL] [-names] [-timeout D] [-retries N] <command> [args]
+const usage = `usage: simctl [-addr URL] [-names] [-router] [-timeout D] [-retries N] <command> [args]
 
 commands:
-  health                     GET /v1/healthz
+  health                     GET /v1/healthz (cluster-shaped with -router)
   list                       GET /v1/trackers
   snapshot <tracker>         GET /v1/trackers/{name}
   seeds <tracker>            GET /v1/trackers/{name}/seeds
@@ -43,13 +43,19 @@ commands:
   stats <tracker>            GET /v1/trackers/{name}/stats
   metrics <tracker>          GET /v1/trackers/{name}/metrics (state + self-healing counters)
   influence <tracker> <user> GET /v1/trackers/{name}/influence (user: ID, or name with -names)
+  candidates <tracker>       GET /v1/trackers/{name}/candidates (shard-local seed pool)
   ingest <tracker> <file>    POST NDJSON actions ("-" = stdin; string users with -names)
   query <tracker> <file>     POST a JSON plan ("-" = stdin; bare plan or {"plan":...,"limit":N})
+
+-router points -addr at a simrouter instead of a simserve: health decodes
+the cluster DTO (per-shard reachability), every other command is unchanged —
+the router serves the same routes and merges across its shards.
 `
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8384", "simserve base URL")
 	names := flag.Bool("names", false, `name-mode tracker: ingest NDJSON "user" fields are string names`)
+	router := flag.Bool("router", false, "addr is a simrouter: decode cluster-shaped health")
 	timeout := flag.Duration("timeout", 0, "per-attempt request timeout (0 = client default 30s)")
 	retries := flag.Int("retries", 0, "retry attempts after 429/503 (and transport errors on reads)")
 	flag.Usage = func() { fmt.Fprint(os.Stderr, usage) }
@@ -64,7 +70,7 @@ func main() {
 	client.Retry = api.RetryPolicy{MaxRetries: *retries}
 	ctx := context.Background()
 
-	out, err := run(ctx, client, *names, args[0], args[1:])
+	out, err := run(ctx, client, *names, *router, args[0], args[1:])
 	if err != nil {
 		var apiErr *api.Error
 		if errors.As(err, &apiErr) {
@@ -83,7 +89,7 @@ func main() {
 }
 
 // run dispatches one subcommand and returns the decoded response to print.
-func run(ctx context.Context, c *api.Client, names bool, cmd string, args []string) (any, error) {
+func run(ctx context.Context, c *api.Client, names, router bool, cmd string, args []string) (any, error) {
 	tracker := func() (string, error) {
 		if len(args) < 1 {
 			return "", fmt.Errorf("%s: missing tracker name", cmd)
@@ -92,6 +98,9 @@ func run(ctx context.Context, c *api.Client, names bool, cmd string, args []stri
 	}
 	switch cmd {
 	case "health":
+		if router {
+			return c.ClusterHealth(ctx)
+		}
 		return c.Health(ctx)
 	case "list":
 		return c.List(ctx)
@@ -131,6 +140,12 @@ func run(ctx context.Context, c *api.Client, names bool, cmd string, args []stri
 			return nil, err
 		}
 		return c.TrackerMetrics(ctx, t)
+	case "candidates":
+		t, err := tracker()
+		if err != nil {
+			return nil, err
+		}
+		return c.Candidates(ctx, t)
 	case "influence":
 		t, err := tracker()
 		if err != nil {

@@ -128,22 +128,21 @@ func main() {
 			fatalf("%v", err)
 		}
 		for sname, sp := range specs {
+			// A spec whose durability guarantees don't hold is refused, not
+			// fatal: the server keeps serving its other trackers, /v1/healthz
+			// reports the name and reason under "refused", and requests to
+			// the refused tracker answer 503 with the same reason.
 			if err := validateSpec(sname, sp, *dataDir != "", *unsafeRec); err != nil {
-				fatalf("%v", err)
+				reg.Refuse(sname, err.Error())
+				log.Printf("tracker %q refused (serving degraded): %v", sname, err)
+				continue
 			}
-		}
-		for sname, sp := range specs {
 			t, err := reg.Add(sname, sp)
 			if err != nil {
 				fatalf("%v", err)
 			}
 			log.Printf("tracker %q: k=%d window=%d framework=%v oracle=%v", sname, sp.K, sp.Window, sp.Framework, sp.Oracle)
 			logRecovery(t)
-		}
-		if *replay != "" {
-			if _, ok := reg.Get(replayTarget); !ok {
-				fatalf("-replay targets tracker %q, not present in %s", replayTarget, *spec)
-			}
 		}
 	} else {
 		fwk, err := sim.ParseFramework(*framework)
@@ -161,14 +160,16 @@ func main() {
 			SnapshotWALBytes: *snapBytes, Names: *names,
 		}
 		if err := validateSpec(*name, sp, *dataDir != "", *unsafeRec); err != nil {
-			fatalf("%v", err)
+			reg.Refuse(*name, err.Error())
+			log.Printf("tracker %q refused (serving degraded): %v", *name, err)
+		} else {
+			t, err := reg.Add(*name, sp)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			log.Printf("tracker %q: k=%d window=%d framework=%v oracle=%v", *name, *k, *window, fwk, o)
+			logRecovery(t)
 		}
-		t, err := reg.Add(*name, sp)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		log.Printf("tracker %q: k=%d window=%d framework=%v oracle=%v", *name, *k, *window, fwk, o)
-		logRecovery(t)
 	}
 
 	srv := server.New(reg)
@@ -179,7 +180,13 @@ func main() {
 
 	replayDone := make(chan error, 1)
 	if *replay != "" {
-		t, _ := reg.Get(replayTarget)
+		t, ok := reg.Get(replayTarget)
+		if !ok {
+			if reason, refused := reg.RefusedReason(replayTarget); refused {
+				fatalf("-replay targets tracker %q, refused at startup: %s", replayTarget, reason)
+			}
+			fatalf("-replay targets unknown tracker %q", replayTarget)
+		}
 		go func() { replayDone <- runReplay(ctx, t, *replay, *follow, *chunk) }()
 	} else {
 		replayDone <- nil

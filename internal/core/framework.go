@@ -375,6 +375,22 @@ func (f *Framework) Seeds() []stream.UserID {
 	return nil
 }
 
+// CandidateSeeds returns the answering checkpoint's candidate pool: the
+// union of every live candidate solution's users when the oracle exposes one
+// (the sieve-style oracles), otherwise just Seeds(). A distributed merge
+// layer unions these pools across partitions and re-scores them with one
+// exact greedy pass; see internal/router.
+func (f *Framework) CandidateSeeds() []stream.UserID {
+	cp := f.answer()
+	if cp == nil {
+		return nil
+	}
+	if cs, ok := cp.oracle.(oracle.CandidateSource); ok {
+		return cs.Candidates()
+	}
+	return cp.oracle.Seeds()
+}
+
 // Value returns the influence value f(I_t(S)) of the current solution as
 // maintained by the answering checkpoint's oracle.
 func (f *Framework) Value() float64 {

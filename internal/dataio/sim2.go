@@ -207,8 +207,8 @@ func (sr *SnapshotReader) Next() (tag string, payload []byte, err error) {
 		sr.err = fmt.Errorf("%w: section %q claims %d bytes", ErrSnapshotCorrupt, tagBuf[:], n)
 		return "", nil, sr.err
 	}
-	payload = make([]byte, n)
-	if _, err := io.ReadFull(sr.r, payload); err != nil {
+	payload, err = readPayload(sr.r, n)
+	if err != nil {
 		sr.err = ErrSnapshotTruncated
 		return "", nil, sr.err
 	}
@@ -227,4 +227,22 @@ func (sr *SnapshotReader) Next() (tag string, payload []byte, err error) {
 		return "", nil, io.EOF
 	}
 	return string(tagBuf[:]), payload, nil
+}
+
+// readPayload reads exactly n bytes, growing the buffer in bounded chunks:
+// a corrupt or hostile length prefix far larger than the actual input fails
+// after reading what is really there instead of allocating the claimed size
+// up front.
+func readPayload(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for uint64(len(buf)) < n {
+		step := min(n-uint64(len(buf)), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }

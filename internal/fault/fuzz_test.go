@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRules drives the -fault rule grammar with arbitrary specs. The
+// invariants: never panic, never return (nil error, zero rules), and the
+// canonical form is a fixed point — every accepted rule's String() re-parses
+// to a rule with the identical String(). (Full value round-trip is too
+// strong on purpose: ParseRules accepts negative after=/times= values that
+// String canonicalizes away.)
+func FuzzParseRules(f *testing.F) {
+	f.Add("op=sync,path=wal.log,after=2,times=1,err=ENOSPC")
+	f.Add("op=write,path=snapshot,times=3,err=EIO,short;op=rename,path=snapshot,times=1")
+	f.Add("op=open,delay=5ms,delayonly")
+	f.Add("op=readfile,err=EACCES")
+	f.Add(";;op=close;;")
+	f.Add("op=truncate,path=a=b")
+	f.Add("")
+	f.Add("path=only,times=2")
+	f.Fuzz(func(t *testing.T, spec string) {
+		rules, err := ParseRules(spec)
+		if err != nil {
+			return
+		}
+		if len(rules) == 0 {
+			t.Fatalf("ParseRules(%q) returned no rules and no error", spec)
+		}
+		for i := range rules {
+			canon := rules[i].String()
+			re, err := ParseRules(canon)
+			if err != nil {
+				t.Fatalf("rule %d of %q: canonical form %q does not re-parse: %v", i, spec, canon, err)
+			}
+			if len(re) != 1 {
+				t.Fatalf("canonical form %q parsed to %d rules", canon, len(re))
+			}
+			if got := re[0].String(); got != canon {
+				t.Fatalf("canonical form not a fixed point: %q → %q", canon, got)
+			}
+		}
+		// Accepted rule sets must also arm: loading them into an injector
+		// must not panic.
+		in := NewInjector(OS())
+		for _, r := range rules {
+			in.Add(r)
+		}
+	})
+}
+
+// TestParseRulesRejectsGarbage pins a few rejections the fuzzer relies on.
+func TestParseRulesRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"", ";", "op=flush", "op=write,err=ETIMEDOUT", "op=write,after=x",
+		"op=write,delay=fast", "times=1", "op=write,bogus=1",
+	} {
+		if rules, err := ParseRules(spec); err == nil {
+			t.Errorf("ParseRules(%q) = %v, want error", spec, rules)
+		}
+	}
+	if !strings.Contains(func() string {
+		_, err := ParseRules("op=nope")
+		return err.Error()
+	}(), "unknown op") {
+		t.Error("unknown-op error lost its cause")
+	}
+}

@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/stream"
 	"repro/internal/submod"
@@ -271,6 +272,31 @@ func (g *grid) Value() float64 {
 func (g *grid) Seeds() []stream.UserID {
 	g.refresh()
 	return g.bestSeeds
+}
+
+// Candidates implements CandidateSource: the deduplicated union of every
+// live instance's seed set plus the monotone best-ever answer, sorted
+// ascending. Instances with different OPT guesses admit different users, so
+// the union is a strictly richer pool than Seeds() — exactly what a
+// distributed merge layer wants to re-score.
+func (g *grid) Candidates() []stream.UserID {
+	g.refresh()
+	seen := uintset.New(8)
+	var out []stream.UserID
+	add := func(users []stream.UserID) {
+		for _, u := range users {
+			if !seen.Has(uint32(u)) {
+				seen.Add(uint32(u))
+				out = append(out, u)
+			}
+		}
+	}
+	add(g.bestSeeds)
+	for _, inst := range g.insts {
+		add(inst.seeds)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Stats implements Oracle.

@@ -84,6 +84,21 @@ type Oracle interface {
 	Stats() Stats
 }
 
+// CandidateSource is implemented by oracles that can report a candidate
+// superset of Seeds(): every user currently held by any live candidate
+// solution (plus the monotone best-ever answer). A distributed merge layer
+// (internal/router) unions the candidate sets of independent partitions and
+// re-scores them with one exact greedy pass — the GreeDi-style two-round
+// scheme — so the richer the per-partition candidate pool, the closer the
+// merged answer gets to a centralized run. Oracles with a single candidate
+// solution simply don't implement this; callers fall back to Seeds().
+type CandidateSource interface {
+	// Candidates returns the deduplicated union of all live candidate
+	// solutions' users, sorted ascending. The slice is freshly allocated
+	// and owned by the caller.
+	Candidates() []stream.UserID
+}
+
 // Sharded is implemented by oracles whose per-element work splits into
 // mutually independent shards — the sieve-style oracles, whose candidate
 // instances never share mutable state. It lets the checkpoint frameworks

@@ -1,0 +1,105 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/sim"
+)
+
+// TestRingDeterminism: two rings of the same width agree on every
+// assignment — the property that lets tests (and operators) recompute the
+// partition out of band.
+func TestRingDeterminism(t *testing.T) {
+	a, b := NewRing(5), NewRing(5)
+	for u := sim.UserID(0); u < 10000; u++ {
+		if a.ShardForID(u) != b.ShardForID(u) {
+			t.Fatalf("user %d: %d != %d", u, a.ShardForID(u), b.ShardForID(u))
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("user-%d", i)
+		if a.ShardForName(name) != b.ShardForName(name) {
+			t.Fatalf("name %q: %d != %d", name, a.ShardForName(name), b.ShardForName(name))
+		}
+	}
+}
+
+// TestRingBounds: every assignment lands on a real shard.
+func TestRingBounds(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		r := NewRing(n)
+		for u := sim.UserID(0); u < 5000; u++ {
+			if s := r.ShardForID(u); s < 0 || s >= n {
+				t.Fatalf("n=%d user %d: shard %d out of range", n, u, s)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with 128 virtual nodes per shard, no shard owns more
+// than twice its fair share of a large uniform key population.
+func TestRingBalance(t *testing.T) {
+	const keys = 40000
+	for _, n := range []int{2, 4, 8} {
+		r := NewRing(n)
+		counts := make([]int, n)
+		for u := sim.UserID(0); u < keys; u++ {
+			counts[r.ShardForID(u)]++
+		}
+		fair := keys / n
+		for s, c := range counts {
+			if c > 2*fair || c < fair/2 {
+				t.Errorf("n=%d shard %d owns %d keys (fair share %d)", n, s, c, fair)
+			}
+		}
+	}
+}
+
+// TestRingStability: growing the ring moves only a bounded fraction of
+// keys — the consistent-hashing property that makes resharding cheap.
+func TestRingStability(t *testing.T) {
+	const keys = 20000
+	small, big := NewRing(4), NewRing(5)
+	moved := 0
+	for u := sim.UserID(0); u < keys; u++ {
+		a, b := small.ShardForID(u), big.ShardForID(u)
+		if a != b {
+			if b != 4 {
+				// A key that moved between two pre-existing shards would
+				// break incremental resharding; consistent hashing only
+				// moves keys onto the new shard.
+				t.Fatalf("user %d moved %d→%d, not onto the new shard", u, a, b)
+			}
+			moved++
+		}
+	}
+	// Expected movement is keys/5; allow 2× slack for hash variance.
+	if moved > 2*keys/5 {
+		t.Errorf("%d/%d keys moved adding one shard (expected ≈%d)", moved, keys, keys/5)
+	}
+	if moved == 0 {
+		t.Error("no keys moved onto the new shard")
+	}
+}
+
+// TestRingNamePreIntern: string routing hashes the raw external name, so
+// the assignment is independent of any shard's intern table (two shards
+// would intern the same name to different dense IDs).
+func TestRingNamePreIntern(t *testing.T) {
+	r := NewRing(3)
+	got := r.ShardForName("alice")
+	for i := 0; i < 100; i++ {
+		if r.ShardForName("alice") != got {
+			t.Fatal("name routing not stable")
+		}
+	}
+	// Sanity: names spread across shards at all.
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		seen[r.ShardForName(fmt.Sprintf("user-%d", i))] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("200 names hit only %d/3 shards", len(seen))
+	}
+}

@@ -505,6 +505,7 @@ func (t *Tracked) Close() error {
 type Registry struct {
 	mu       sync.RWMutex
 	trackers map[string]*Tracked
+	refused  map[string]string
 	dataDir  string
 	fs       fault.FS
 	clock    fault.Clock
@@ -513,6 +514,46 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{trackers: make(map[string]*Tracked)}
+}
+
+// Refuse records that the named tracker was declared but could not be
+// served (e.g. its spec combines batch > 1 with durability, which cannot
+// guarantee recovery identity). The server keeps running: /v1/healthz
+// reports the name and reason under "refused" (status "degraded"), and
+// every /v1/trackers/{name}/... request answers 503 with the same reason
+// through the standard error contract — one consistent story for probes
+// and clients instead of a crash at boot.
+func (r *Registry) Refuse(name, reason string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.refused == nil {
+		r.refused = make(map[string]string)
+	}
+	r.refused[name] = reason
+}
+
+// RefusedReason returns why the named tracker was refused at startup, if it
+// was (see Refuse).
+func (r *Registry) RefusedReason(name string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	reason, ok := r.refused[name]
+	return reason, ok
+}
+
+// Refused returns a copy of the refused-tracker map (name → reason), nil
+// when nothing was refused.
+func (r *Registry) Refused() map[string]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.refused) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(r.refused))
+	for n, reason := range r.refused {
+		out[n] = reason
+	}
+	return out
 }
 
 // SetFS routes all durable-path filesystem access of trackers added

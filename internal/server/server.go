@@ -94,6 +94,7 @@ func New(reg *Registry) *Server {
 	s.mux.HandleFunc("GET /v1/trackers/{name}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/trackers/{name}/metrics", s.handleTrackerMetrics)
 	s.mux.HandleFunc("GET /v1/trackers/{name}/influence", s.handleInfluence)
+	s.mux.HandleFunc("GET /v1/trackers/{name}/candidates", s.handleCandidates)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -132,8 +133,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			states[n] = st.String()
 		}
 	}
+	refused := s.reg.Refused()
 	status := "ok"
-	if len(degraded) > 0 || len(states) > 0 {
+	if len(degraded) > 0 || len(states) > 0 || len(refused) > 0 {
 		status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, api.HealthResponse{
@@ -145,6 +147,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Durable:       s.reg.DataDir() != "",
 		Degraded:      degraded,
 		States:        states,
+		Refused:       refused,
 	})
 }
 
@@ -207,11 +210,18 @@ func writeRetryable(w http.ResponseWriter, code int, format string, args ...any)
 	writeError(w, code, format, args...)
 }
 
-// tracked resolves the {name} path value, answering 404 when unknown.
+// tracked resolves the {name} path value, answering 404 when unknown and
+// 503 — with the startup refusal reason — for trackers the registry refused
+// to serve (Registry.Refuse), so clients see the same story /v1/healthz
+// tells instead of a misleading "unknown tracker".
 func (s *Server) tracked(w http.ResponseWriter, r *http.Request) (*Tracked, bool) {
 	name := r.PathValue("name")
 	t, ok := s.reg.Get(name)
 	if !ok {
+		if reason, refused := s.reg.RefusedReason(name); refused {
+			writeError(w, http.StatusServiceUnavailable, "tracker %q refused at startup: %s", name, reason)
+			return nil, false
+		}
 		writeError(w, http.StatusNotFound, "unknown tracker %q", name)
 		return nil, false
 	}
@@ -443,6 +453,59 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:         depth,
 		QueueCapacity:      capacity,
 	})
+}
+
+// handleCandidates serves the answering checkpoint's full candidate pool
+// with per-candidate influence sets — the shard-local half of the
+// scatter-gather seed selection (see internal/router). Influence sets need
+// the live stream index, so like /influence this runs as a closure on the
+// ingest loop, serialized after everything already queued. On name-mode
+// trackers each candidate (and its influence set) also carries external
+// names, the only identity comparable across trackers.
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tracked(w, r)
+	if !ok {
+		return
+	}
+	var resp api.CandidatesResponse
+	qErr := t.Query(r.Context(), func(tr *sim.Tracker) {
+		users := tr.Candidates()
+		resp.K = t.Spec().K
+		resp.Value = tr.Value()
+		resp.WindowStart = tr.WindowStart()
+		resp.Processed = tr.Processed()
+		resp.Candidates = make([]api.CandidateSeed, 0, len(users))
+		for _, u := range users {
+			inf := tr.InfluenceSet(u)
+			if inf == nil {
+				inf = []sim.UserID{}
+			}
+			resp.Candidates = append(resp.Candidates, api.CandidateSeed{
+				User:       u,
+				Influenced: inf,
+				Coverage:   float64(len(inf)),
+			})
+		}
+	})
+	if qErr != nil {
+		if errors.Is(qErr, ErrOverloaded) {
+			writeRetryable(w, http.StatusTooManyRequests, "%v", qErr)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "%v", qErr)
+		return
+	}
+	if tb := t.Names(); tb != nil {
+		for i := range resp.Candidates {
+			c := &resp.Candidates[i]
+			c.Name, _ = tb.Name(uint32(c.User))
+			c.InfluencedNames = make([]string, len(c.Influenced))
+			for j, v := range c.Influenced {
+				c.InfluencedNames[j], _ = tb.Name(uint32(v))
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleInfluence serves per-user influence sets. Unlike the other reads

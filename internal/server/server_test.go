@@ -409,6 +409,10 @@ func TestErrorContract(t *testing.T) {
 	if _, err := reg.Add("default", api.Spec{K: 2, Window: 100}); err != nil {
 		t.Fatal(err)
 	}
+	// A tracker refused at startup (simserve's refuse-and-serve path for
+	// spec validation failures, e.g. batch>1 without -data-dir) serves 503
+	// with the refusal reason instead of vanishing into a 404.
+	reg.Refuse("badbatch", "durable batching (batch=3) without unsafe-batch-recovery")
 	handler := server.New(reg)
 	handler.MaxBodyBytes = 1 << 10 // make 413 reachable with a small body
 	srv := httptest.NewServer(handler)
@@ -441,6 +445,9 @@ func TestErrorContract(t *testing.T) {
 		{"undecodable query body", "POST", "/v1/trackers/default/query", "not json", 400},
 		{"unknown query field", "POST", "/v1/trackers/default/query", `{"plam":{}}`, 400},
 		{"bad plan", "POST", "/v1/trackers/default/query", `{"plan":{"scan":"bogus"}}`, 400},
+		{"refused tracker read", "GET", "/v1/trackers/badbatch/seeds", "", 503},
+		{"refused tracker ingest", "POST", "/v1/trackers/badbatch/actions", `{"id":1,"user":1}` + "\n", 503},
+		{"refused tracker query", "POST", "/v1/trackers/badbatch/query", `{"plan":{"scan":"seeds"}}`, 503},
 	}
 	check := func(t *testing.T, resp *http.Response, wantCode int) {
 		t.Helper()
@@ -475,6 +482,36 @@ func TestErrorContract(t *testing.T) {
 			}
 			check(t, resp, c.wantCode)
 		})
+	}
+
+	// The refusal reason survives the envelope round trip, and healthz
+	// reports the tracker as refused with a degraded status.
+	resp0, err := http.Get(srv.URL + "/v1/trackers/badbatch/seeds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refusedErr api.ErrorResponse
+	if err := json.NewDecoder(resp0.Body).Decode(&refusedErr); err != nil {
+		t.Fatal(err)
+	}
+	resp0.Body.Close()
+	if !strings.Contains(refusedErr.Error, "unsafe-batch-recovery") {
+		t.Fatalf("refusal reason lost: %q", refusedErr.Error)
+	}
+	hresp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health api.HealthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Status != "degraded" {
+		t.Fatalf("healthz status = %q with a refused tracker, want degraded", health.Status)
+	}
+	if reason, ok := health.Refused["badbatch"]; !ok || !strings.Contains(reason, "unsafe-batch-recovery") {
+		t.Fatalf("healthz refused map = %v, want badbatch with its reason", health.Refused)
 	}
 
 	// 503 while draining: close the registry under the live listener.

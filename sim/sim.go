@@ -430,6 +430,14 @@ func (t *Tracker) Seeds() []UserID { return t.flushed().Seeds() }
 // first.
 func (t *Tracker) Value() float64 { return t.flushed().Value() }
 
+// Candidates returns the answering checkpoint's candidate seed pool: a
+// superset of Seeds() for the sieve-style oracles (union of all live
+// candidate solutions), Seeds() itself for the swap oracles. A scatter-
+// gather router unions these pools across shards and re-scores the merged
+// pool with one exact greedy pass. Buffered actions are flushed first. The
+// slice is freshly allocated and owned by the caller.
+func (t *Tracker) Candidates() []UserID { return t.flushed().CandidateSeeds() }
+
 // InfluenceSet returns the users currently influenced by u within the
 // window (Definition 1 of the paper). Buffered actions are flushed first.
 func (t *Tracker) InfluenceSet(u UserID) []UserID {
