@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-check fmt fmt-check vet lint ci serve serve-smoke recover-smoke chaos-smoke cluster-smoke fuzz-smoke cover
+.PHONY: all build test race bench bench-json bench-check fmt fmt-check vet lint ci serve serve-smoke recover-smoke chaos-smoke cluster-smoke spill-smoke fuzz-smoke cover
 
 all: build
 
@@ -24,9 +24,9 @@ bench:
 # allocs/op, B/op, actions/sec). Commit the output as BENCH_<PR>.json to
 # extend the cross-PR performance trajectory; CI uploads the same file as a
 # workflow artifact.
-BENCH_JSON ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR9.json
 bench-json:
-	$(GO) run ./cmd/simbench -exp tput,par,query -scale smoke -json $(BENCH_JSON)
+	$(GO) run ./cmd/simbench -exp tput,par,query,mem -scale smoke -json $(BENCH_JSON)
 
 # CI bench regression guard: rerun the committed baseline's experiments and
 # fail on a large hot-path regression (>25% allocs/op — deterministic — or
@@ -35,9 +35,9 @@ bench-json:
 # (simbench -check-retries, min-of-N) before failing, since 1-CPU scheduler
 # noise is one-sided. The fresh snapshot goes to a scratch file; the
 # committed baseline is never overwritten.
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR9.json
 bench-check:
-	$(GO) run ./cmd/simbench -exp tput,par,query -scale smoke \
+	$(GO) run ./cmd/simbench -exp tput,par,query,mem -scale smoke \
 		-json bench-fresh.json -check $(BENCH_BASELINE)
 
 # Run the serving layer (cmd/simserve) on :8384 with a default tracker.
@@ -72,6 +72,14 @@ chaos-smoke:
 cluster-smoke:
 	sh ./scripts/cluster_smoke.sh
 
+# End-to-end tiered-storage smoke (also a CI step): boot simserve under a
+# tight -memory-budget, ingest until logs spill to cold segments, kill -9,
+# restart and assert recovery MAPPED the segments (cold state back, WAL
+# replay covers only the tail) and the answer matches an uninterrupted
+# unbudgeted run.
+spill-smoke:
+	sh ./scripts/spill_smoke.sh
+
 # Short fuzz runs of the three hand-written parsers (also a CI step): the
 # SIM2 snapshot container, the stream-format sniffer, and the -fault rule
 # grammar. Seed corpora live in testdata/fuzz/; new crashers land there too.
@@ -79,6 +87,7 @@ FUZZTIME ?= 20s
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotReader -fuzztime=$(FUZZTIME) ./internal/dataio/
 	$(GO) test -run='^$$' -fuzz=FuzzReadAuto -fuzztime=$(FUZZTIME) ./internal/dataio/
+	$(GO) test -run='^$$' -fuzz=FuzzSegment -fuzztime=$(FUZZTIME) ./internal/dataio/
 	$(GO) test -run='^$$' -fuzz=FuzzParseRules -fuzztime=$(FUZZTIME) ./internal/fault/
 
 # Aggregate coverage profile (also uploaded as a CI artifact).
@@ -106,4 +115,4 @@ lint: vet
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-ci: fmt-check lint build race bench serve-smoke recover-smoke chaos-smoke cluster-smoke fuzz-smoke bench-check
+ci: fmt-check lint build race bench serve-smoke recover-smoke chaos-smoke cluster-smoke spill-smoke fuzz-smoke bench-check

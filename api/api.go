@@ -108,6 +108,16 @@ type Spec struct {
 	// snapshot+truncate on a durable registry (one with a data dir). 0
 	// means the server default (4 MiB). Ignored without durability.
 	SnapshotWALBytes int64 `json:"snapshot_wal_bytes,omitempty"`
+	// MemoryBudgetBytes bounds the tracker's resident contribution-log
+	// bytes: past it, the longest-idle users' logs spill to immutable cold
+	// segment files at the window's expiry boundary and fault back in on
+	// demand (sim.Config.MemoryBudgetBytes). Answers are bit-identical
+	// with or without a budget; only memory residency and I/O change. 0
+	// (the default) never spills. Requires a spill directory — the
+	// server's -spill-dir flag, or durability (the tracker then spills
+	// under <data-dir>/<name>/spill); a budget without either refuses the
+	// tracker at startup.
+	MemoryBudgetBytes int64 `json:"memory_budget_bytes,omitempty"`
 }
 
 // Config converts the spec to the sim.Config it describes.
@@ -309,6 +319,18 @@ type HealthResponse struct {
 	// through the standard error contract, so a probe and a client see one
 	// consistent story. Status is "degraded" whenever Refused is non-empty.
 	Refused map[string]string `json:"refused,omitempty"`
+	// Memory maps tracker names to their tiered-window memory facts —
+	// present only for trackers running with a memory budget, so a probe
+	// can watch residency and cold-tier growth without per-tracker calls.
+	Memory map[string]TrackerMemory `json:"memory,omitempty"`
+}
+
+// TrackerMemory is one tracker's entry in HealthResponse.Memory: the
+// resident-footprint estimate and the cold tier's current extent.
+type TrackerMemory struct {
+	ResidentBytes int64 `json:"resident_bytes"`
+	ColdSegments  int   `json:"cold_segments"`
+	ColdFaults    int64 `json:"cold_faults"`
 }
 
 // ShardHealth is one shard's entry in ClusterHealthResponse, as observed by
@@ -362,6 +384,27 @@ type TrackerMetricsResponse struct {
 	// DurabilityError is the latest snapshot/WAL failure message, empty
 	// when healthy.
 	DurabilityError string `json:"durability_error,omitempty"`
+	// Tiered window state (see sim.Snapshot): the stream index's estimated
+	// resident footprint, the hot/cold split of contribution-log bytes,
+	// how much of the window currently lives in cold segment files, the
+	// cumulative spill passes and the cumulative cold-segment reads
+	// (query-triggered, residency-neutral). All zero without a memory
+	// budget.
+	ResidentBytes int64 `json:"resident_bytes"`
+	HotLogBytes   int64 `json:"hot_log_bytes"`
+	ColdLogBytes  int64 `json:"cold_log_bytes"`
+	ColdUsers     int   `json:"cold_users"`
+	ColdSegments  int   `json:"cold_segments"`
+	Spills        int64 `json:"spills"`
+	ColdFaults    int64 `json:"cold_faults"`
+	// Boot recovery shape, for durable trackers: whether a snapshot was
+	// mapped in (cold segments re-adopted, not replayed) and how much WAL
+	// tail was replayed on top. The spill smoke test asserts segment-mapped
+	// recovery through these.
+	RecoveredSnapshot          bool  `json:"recovered_snapshot,omitempty"`
+	RecoveredSnapshotProcessed int64 `json:"recovered_snapshot_processed,omitempty"`
+	RecoveredWALBatches        int   `json:"recovered_wal_batches,omitempty"`
+	RecoveredWALActions        int   `json:"recovered_wal_actions,omitempty"`
 }
 
 // QueryRequest is the body of POST /v1/trackers/{name}/query: a relational

@@ -80,6 +80,8 @@ func main() {
 		chunk     = flag.Int("replay-chunk", 512, "actions per replay ingest batch")
 		dataDir   = flag.String("data-dir", "", "durability root: per-tracker snapshot + write-ahead log under <dir>/<name>/; on boot, trackers recover their state from it")
 		snapBytes = flag.Int64("wal-snapshot-bytes", 0, "WAL size triggering snapshot+truncate for the flag-built tracker (0 = default 4 MiB)")
+		spillDir  = flag.String("spill-dir", "", "cold-tier root: per-tracker spilled segment files under <dir>/<name>/ (default with -data-dir: <data-dir>/<name>/spill)")
+		memBudget = flag.Int64("memory-budget", 0, "resident contribution-log byte budget for the flag-built tracker; past it, idle users' logs spill to the cold tier (0 = never spill; needs -spill-dir or -data-dir)")
 		names     = flag.Bool("names", false, "name-mode tracker: NDJSON \"user\" fields are string names, interned to dense IDs")
 		unsafeRec = flag.Bool("unsafe-batch-recovery", false, "allow batch > 1 together with -data-dir even though crash recovery is only batch-for-batch identical at batch=1")
 		faultSpec = flag.String("fault", "", "TESTING ONLY: inject filesystem faults into the durable path; semicolon-separated rules like op=sync,path=wal.log,after=2,times=1,err=ENOSPC (see internal/fault)")
@@ -116,6 +118,9 @@ func main() {
 	if *dataDir != "" {
 		reg.SetDataDir(*dataDir)
 	}
+	if *spillDir != "" {
+		reg.SetSpillDir(*spillDir)
+	}
 	replayTarget := *name
 	if *spec != "" {
 		f, err := os.Open(*spec)
@@ -132,7 +137,7 @@ func main() {
 			// fatal: the server keeps serving its other trackers, /v1/healthz
 			// reports the name and reason under "refused", and requests to
 			// the refused tracker answer 503 with the same reason.
-			if err := validateSpec(sname, sp, *dataDir != "", *unsafeRec); err != nil {
+			if err := validateSpec(sname, sp, *dataDir != "", *spillDir != "", *unsafeRec); err != nil {
 				reg.Refuse(sname, err.Error())
 				log.Printf("tracker %q refused (serving degraded): %v", sname, err)
 				continue
@@ -158,8 +163,9 @@ func main() {
 			Framework: fwk, Oracle: o,
 			Parallelism: *par, Batch: *batch, ExpectedUsers: *users, Queue: *queue,
 			SnapshotWALBytes: *snapBytes, Names: *names,
+			MemoryBudgetBytes: *memBudget,
 		}
-		if err := validateSpec(*name, sp, *dataDir != "", *unsafeRec); err != nil {
+		if err := validateSpec(*name, sp, *dataDir != "", *spillDir != "", *unsafeRec); err != nil {
 			reg.Refuse(*name, err.Error())
 			log.Printf("tracker %q refused (serving degraded): %v", *name, err)
 		} else {

@@ -15,11 +15,23 @@ import (
 // answer sequence is only guaranteed identical at batch=1. The
 // -unsafe-batch-recovery flag overrides the check for operators who accept
 // approximate recovery in exchange for batched-ingest throughput.
-func validateSpec(name string, sp api.Spec, durable, unsafeBatchRecovery bool) error {
+//
+// It also refuses a memory budget that has nowhere to spill: the budget
+// only means something with a spill directory (-spill-dir, or implicitly
+// <data-dir>/<name>/spill on a durable server).
+func validateSpec(name string, sp api.Spec, durable, spill, unsafeBatchRecovery bool) error {
 	if durable && sp.Batch > 1 && !unsafeBatchRecovery {
 		return fmt.Errorf(
 			"tracker %q: batch=%d with -data-dir: recovery is only batch-for-batch identical at batch=1; set batch to 1 or pass -unsafe-batch-recovery to accept approximate recovery",
 			name, sp.Batch)
+	}
+	if sp.MemoryBudgetBytes < 0 {
+		return fmt.Errorf("tracker %q: memory_budget_bytes must be >= 0, got %d", name, sp.MemoryBudgetBytes)
+	}
+	if sp.MemoryBudgetBytes > 0 && !durable && !spill {
+		return fmt.Errorf(
+			"tracker %q: memory_budget_bytes=%d needs a spill directory: pass -spill-dir (or -data-dir, which spills under the tracker's data directory)",
+			name, sp.MemoryBudgetBytes)
 	}
 	return nil
 }

@@ -76,6 +76,18 @@ type Config struct {
 	// UsersHint pre-sizes the stream index's per-user maps for the expected
 	// number of distinct users (0 = grow incrementally).
 	UsersHint int
+	// Cold, when non-nil together with a positive ColdBudget, attaches a
+	// cold tier to the stream index: expired-but-retained contribution logs
+	// spill to immutable segment files at the window's expiry boundary
+	// whenever resident log bytes exceed the budget, and fault back in on
+	// demand. Results are bit-identical with or without a cold tier; only
+	// memory residency and I/O change. Like Pool, the store is runtime
+	// environment, not logical configuration — it is shared, never
+	// serialized, and must outlive the framework (the owner closes it).
+	Cold stream.ColdStore
+	// ColdBudget is the resident hot-log byte budget that triggers spilling
+	// (0 = never spill).
+	ColdBudget int64
 }
 
 func (c Config) validate() error {
@@ -168,6 +180,7 @@ func New(cfg Config) (*Framework, error) {
 		return nil, err
 	}
 	f := &Framework{cfg: cfg, st: stream.NewSized(cfg.UsersHint), pool: cfg.Pool}
+	f.st.SetCold(cfg.Cold, cfg.ColdBudget)
 	f.feedFn = func(i int) {
 		u := &f.units[i]
 		u.orc.FeedShard(u.shard, u.e)

@@ -80,7 +80,7 @@ func (f *Framework) Restore(r io.Reader) error {
 	if err := rr.Err(); err != nil {
 		return fmt.Errorf("core: restoring: %w", err)
 	}
-	st, err := stream.Restore(bytes.NewReader(streamPayload))
+	st, err := stream.Restore(bytes.NewReader(streamPayload), f.cfg.Cold, f.cfg.ColdBudget)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}

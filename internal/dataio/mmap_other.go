@@ -1,0 +1,15 @@
+//go:build !(linux || darwin)
+
+package dataio
+
+import "errors"
+
+// mmapSupported is false on platforms without a (wired-up) mmap; the
+// segment store falls back to positioned reads through fault.FS.
+const mmapSupported = false
+
+func mapFile(path string) ([]byte, error) {
+	return nil, errors.New("dataio: mmap not supported on this platform")
+}
+
+func unmapFile(b []byte) error { return nil }

@@ -1,0 +1,42 @@
+//go:build linux || darwin
+
+package dataio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy read path for cold segments. The store
+// only maps files when it is talking to the real filesystem (fault.OS()):
+// an injected FS must see every read so fault rules can fire.
+const mmapSupported = true
+
+// mapFile memory-maps the whole file read-only. The descriptor is closed
+// immediately — the mapping keeps the pages reachable on its own.
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// Zero-length files cannot be mapped; an empty slice fails
+		// validation downstream exactly like a truncated file would.
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// unmapFile releases a mapping produced by mapFile.
+func unmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

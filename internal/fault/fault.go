@@ -49,6 +49,8 @@ type FS interface {
 	ReadFile(name string) ([]byte, error)
 	// MkdirAll is os.MkdirAll.
 	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir is os.ReadDir (cold-segment discovery at boot).
+	ReadDir(name string) ([]os.DirEntry, error)
 }
 
 // Clock abstracts wall-clock reads so backoff schedules are testable.
@@ -78,6 +80,7 @@ func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
 func (osFS) MkdirAll(path string, perm os.FileMode) error {
 	return os.MkdirAll(path, perm)
 }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
 
 // OS returns the real filesystem.
 func OS() FS { return osFS{} }

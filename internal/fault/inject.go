@@ -25,6 +25,7 @@ const (
 	OpRemove
 	OpReadFile
 	OpMkdir
+	OpReadDir
 	opCount
 )
 
@@ -32,6 +33,7 @@ var opNames = [opCount]string{
 	OpOpen: "open", OpRead: "read", OpWrite: "write", OpSync: "sync",
 	OpTruncate: "truncate", OpClose: "close", OpRename: "rename",
 	OpRemove: "remove", OpReadFile: "readfile", OpMkdir: "mkdir",
+	OpReadDir: "readdir",
 }
 
 func (o Op) String() string {
@@ -342,6 +344,14 @@ func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
 		return &os.PathError{Op: "mkdir", Path: path, Err: err}
 	}
 	return in.fs.MkdirAll(path, perm)
+}
+
+// ReadDir implements FS.
+func (in *Injector) ReadDir(name string) ([]os.DirEntry, error) {
+	if err, _ := in.check(OpReadDir, name); err != nil {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return in.fs.ReadDir(name)
 }
 
 // injFile routes a File's operations back through the Injector's rules.

@@ -14,7 +14,9 @@ import (
 
 	"repro/api"
 	"repro/intern"
+	"repro/internal/dataio"
 	"repro/internal/fault"
+	"repro/internal/stream"
 	"repro/sim"
 )
 
@@ -181,6 +183,226 @@ func TestChaosCrashMatrix(t *testing.T) {
 			defer reg2.Close()
 			checkAnswer(t, "chaos-recovered", tr2.Snapshot(), want)
 		})
+	}
+}
+
+// TestChaosSpillMatrix extends the crash matrix to the cold tier: a durable
+// tracker under a tight memory budget spills segment files continuously
+// while injected faults hit every step of the spill write (torn data write,
+// fsync, the publishing rename, the read-back verification) and the cold
+// read path. The invariants, per cell:
+//
+//   - spill-write faults are correctness-neutral by design — the logs stay
+//     hot and both the live answers and the kill -9 recovery match an
+//     unbudgeted serial replay bit for bit;
+//   - cold-READ faults may degrade answers to hot-only while the fault is
+//     live (the extent stays cold for retry), but never lose acked actions:
+//     the recovered tracker replays every acknowledged batch.
+func TestChaosSpillMatrix(t *testing.T) {
+	compressTimers(t)
+	// "spill/seg-" scopes the rules to segment files under the tracker's
+	// spill directory (<data-dir>/t/spill), away from wal.log and
+	// snapshot.sim2. The injected FS also disables mmap, so cold reads go
+	// through open/read on the seam — every cell is reachable.
+	cases := []struct {
+		name   string
+		rules  string
+		strict bool // live answers must equal the serial reference
+	}{
+		{name: "spill-write-torn-enospc", rules: "op=write,path=spill/seg-,times=2,err=ENOSPC,short", strict: true},
+		{name: "spill-sync-eio", rules: "op=sync,path=spill/seg-,times=1,err=EIO", strict: true},
+		{name: "spill-rename-eio", rules: "op=rename,path=spill/seg-,times=1,err=EIO", strict: true},
+		{name: "spill-readback-eio", rules: "op=readfile,path=spill/seg-,times=1,err=EIO", strict: true},
+		{name: "cold-read-eio", rules: "op=open,path=spill/seg-,times=3,err=EIO"},
+	}
+	actions := durableStream(2400)
+	want := serialReference(t, actions)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rules, err := fault.ParseRules(tc.rules)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inj := fault.NewInjector(fault.OS())
+			for _, r := range rules {
+				inj.Add(r)
+			}
+			dir := t.TempDir()
+			reg := NewRegistry()
+			reg.SetFS(inj)
+			reg.SetDataDir(dir)
+			spec := durableSpec
+			spec.SnapshotWALBytes = 2048
+			spec.MemoryBudgetBytes = 4096 // 256 hot entries: spills constantly
+			tr, err := reg.Add("t", spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rest := actions; len(rest) > 0; {
+				n := min(100, len(rest))
+				submitRetry(t, tr, rest[:n])
+				rest = rest[n:]
+			}
+			if inj.Fired() == 0 {
+				t.Fatalf("no fault fired; the %s cell is vacuous", tc.name)
+			}
+			snap := tr.Snapshot()
+			if snap.Spills == 0 {
+				t.Fatalf("budget never spilled; the cell exercised nothing (%+v)", snap)
+			}
+			if tc.strict {
+				checkAnswer(t, "live under spill faults", snap, want)
+			} else if snap.Processed != int64(len(actions)) {
+				t.Fatalf("acked actions lost live: processed = %d, want %d", snap.Processed, len(actions))
+			}
+
+			// kill -9 after the final ack: recover the copied directory with
+			// a clean filesystem.
+			crashDir := t.TempDir()
+			copyTree(t, filepath.Join(dir, "t"), filepath.Join(crashDir, "t"))
+			if err := reg.Close(); err != nil {
+				t.Fatal(err)
+			}
+			reg2 := NewRegistry()
+			reg2.SetDataDir(crashDir)
+			tr2, err := reg2.Add("t", spec)
+			if err != nil {
+				t.Fatalf("crash recovery: %v", err)
+			}
+			defer reg2.Close()
+			snap2 := tr2.Snapshot()
+			if tc.strict {
+				checkAnswer(t, "spill-chaos-recovered", snap2, want)
+			} else if snap2.Processed != int64(len(actions)) {
+				t.Fatalf("acked actions lost in recovery: processed = %d, want %d", snap2.Processed, len(actions))
+			}
+		})
+	}
+}
+
+// TestChaosKillMidSpill emulates a kill -9 in the middle of a spill pass:
+// the copied data directory is salted with everything such a crash can leave
+// in the spill directory — a torn seg-*.tmp, a fully published orphan
+// segment no snapshot references, and a corrupted segment file. Recovery
+// must map the snapshot's segments, replay the WAL tail, answer identically
+// to a serial replay, and garbage-collect all three strays at boot.
+func TestChaosKillMidSpill(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	reg.SetDataDir(dir)
+	spec := durableSpec
+	spec.SnapshotWALBytes = 2048
+	spec.MemoryBudgetBytes = 4096
+	tr, err := reg.Add("t", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions := durableStream(2400)
+	submitChunks(t, tr, actions, 100)
+	if snap := tr.Snapshot(); snap.Spills == 0 || snap.ColdUsers == 0 {
+		t.Fatalf("budget never built a cold tier: %+v", snap)
+	}
+
+	crashDir := t.TempDir()
+	copyTree(t, filepath.Join(dir, "t"), filepath.Join(crashDir, "t"))
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Salt the copied spill directory. The orphan is written through the
+	// real segment writer (valid file, correct ID header, zero snapshot
+	// references); the torn .tmp and the corrupted segment are raw damage.
+	spillDir := filepath.Join(crashDir, "t", "spill")
+	st, err := dataio.OpenSegmentStore(fault.OS(), spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphanExts, err := st.WriteLogs([][]stream.Contrib{{{V: 1, T: 99}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(spillDir, dataio.SegmentFileName(orphanExts[0].Seg))
+	torn := filepath.Join(spillDir, "seg-999999.sim2.tmp")
+	if err := os.WriteFile(torn, []byte("SIM2\x01SG"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(spillDir, "seg-999998.sim2")
+	if err := os.WriteFile(corrupt, []byte("SIM2\x01 garbage segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := NewRegistry()
+	reg2.SetDataDir(crashDir)
+	tr2, err := reg2.Add("t", spec)
+	if err != nil {
+		t.Fatalf("recovery over salted spill dir: %v", err)
+	}
+	defer reg2.Close()
+	snap2 := tr2.Snapshot()
+	checkAnswer(t, "mid-spill-recovered", snap2, serialReference(t, actions))
+	if snap2.ColdUsers == 0 {
+		t.Fatalf("recovery rehydrated the cold tier instead of mapping it: %+v", snap2)
+	}
+	for _, stray := range []string{orphan, torn, corrupt} {
+		if _, err := os.Stat(stray); !os.IsNotExist(err) {
+			t.Errorf("stray %s survived boot GC (%v)", filepath.Base(stray), err)
+		}
+	}
+
+	// The recovered tracker keeps serving under the same budget.
+	more := durableStream(2600)[2400:]
+	submitChunks(t, tr2, more, 100)
+	checkAnswer(t, "post-recovery ingest", tr2.Snapshot(), serialReference(t, durableStream(2600)))
+}
+
+// TestChaosCorruptReferencedSegment flips bytes in every cold segment of a
+// crash image: a snapshot that references a now-corrupt segment must fail
+// recovery loudly instead of serving silently wrong influence data.
+func TestChaosCorruptReferencedSegment(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	reg.SetDataDir(dir)
+	spec := durableSpec
+	spec.SnapshotWALBytes = 2048
+	spec.MemoryBudgetBytes = 4096
+	tr, err := reg.Add("t", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitChunks(t, tr, durableStream(2400), 100)
+	if snap := tr.Snapshot(); snap.ColdUsers == 0 {
+		t.Fatalf("no cold tier to corrupt: %+v", snap)
+	}
+	crashDir := t.TempDir()
+	copyTree(t, filepath.Join(dir, "t"), filepath.Join(crashDir, "t"))
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spillDir := filepath.Join(crashDir, "t", "spill")
+	segs, err := filepath.Glob(filepath.Join(spillDir, "seg-*.sim2"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files in crash image (%v)", err)
+	}
+	for _, path := range segs {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x40
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg2 := NewRegistry()
+	reg2.SetDataDir(crashDir)
+	if _, err := reg2.Add("t", spec); err == nil {
+		reg2.Close()
+		t.Fatal("recovery served a snapshot whose cold segments are corrupt")
 	}
 }
 

@@ -380,31 +380,37 @@ func (d *durability) poisoned() bool {
 }
 
 // maybeSnapshot writes a snapshot and truncates the WAL once the log has
-// outgrown its threshold. force skips the threshold (the graceful-shutdown
-// final snapshot). Runs on the ingest loop; tr is safe to use. Failures are
+// outgrown its threshold, reporting whether a fresh snapshot was published
+// (the caller may then collect cold segments the new manifest no longer
+// references). force skips the threshold (the graceful-shutdown final
+// snapshot). Runs on the ingest loop; tr is safe to use. Failures are
 // remembered, not fatal: the WAL keeps every batch, so durability degrades
 // to longer replays, never to loss — and retries are paced by capped
 // exponential backoff with jitter instead of hammering a sick disk on
 // every subsequent batch.
-func (d *durability) maybeSnapshot(tr *sim.Tracker, force bool) {
+func (d *durability) maybeSnapshot(tr *sim.Tracker, force bool) bool {
 	if d.wal.size == 0 {
-		return // the last snapshot (or empty state) already covers everything
+		return false // the last snapshot (or empty state) already covers everything
 	}
 	if !force && d.wal.size < d.walLimit {
-		return
+		return false
 	}
 	if !force && d.clock.Now().Before(d.nextAttempt) {
-		return // backing off after a recent failure
+		return false // backing off after a recent failure
 	}
 	if err := d.writeSnapshot(tr); err != nil {
 		d.snapshotFailed(err)
-		return
+		return false
 	}
 	if err := d.wal.reset(); err != nil {
 		d.snapshotFailed(err)
-		return
+		// The snapshot itself is published and covering; only the truncate
+		// failed. Still report success so segment GC can run — the WAL
+		// retry path owns the rest.
+		return true
 	}
 	d.snapshotSucceeded()
+	return true
 }
 
 // snapshotFailed records a failed snapshot attempt and schedules the next

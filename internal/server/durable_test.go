@@ -406,7 +406,8 @@ func TestHealthDegradedOnSnapshotFailure(t *testing.T) {
 	}
 }
 
-// copyTree copies a small directory of regular files.
+// copyTree copies a small directory tree of regular files (recursing into
+// subdirectories, e.g. a durable tracker's spill/ directory).
 func copyTree(t *testing.T, src, dst string) {
 	t.Helper()
 	entries, err := os.ReadDir(src)
@@ -418,6 +419,7 @@ func copyTree(t *testing.T, src, dst string) {
 	}
 	for _, e := range entries {
 		if e.IsDir() {
+			copyTree(t, filepath.Join(src, e.Name()), filepath.Join(dst, e.Name()))
 			continue
 		}
 		b, err := os.ReadFile(filepath.Join(src, e.Name()))

@@ -23,6 +23,12 @@ import (
 //	simserve_snapshot_retries_total{tracker="..."}   failed snapshot-write attempts
 //	simserve_wal_rearms_total{tracker="..."}         durability re-arms after poisoning
 //	simserve_state{tracker="..."}                    0 ok, 1 degraded-readonly, 2 recovering
+//	simserve_resident_bytes{tracker="..."}           estimated resident stream-index bytes
+//	simserve_hot_log_bytes{tracker="..."}            in-memory contribution-log bytes
+//	simserve_cold_log_bytes{tracker="..."}           spilled contribution-log bytes on disk
+//	simserve_cold_segments{tracker="..."}            live cold segment files
+//	simserve_spills_total{tracker="..."}             spill passes since boot
+//	simserve_cold_faults_total{tracker="..."}        cold segment reads (query-triggered) since boot
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprintf(w, "simserve_uptime_seconds %g\n", time.Since(s.started).Seconds())
@@ -52,5 +58,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "simserve_snapshot_retries_total{tracker=%q} %d\n", name, retries)
 		fmt.Fprintf(w, "simserve_wal_rearms_total{tracker=%q} %d\n", name, rearms)
 		fmt.Fprintf(w, "simserve_state{tracker=%q} %d\n", name, t.State())
+		fmt.Fprintf(w, "simserve_resident_bytes{tracker=%q} %d\n", name, snap.ResidentBytes)
+		fmt.Fprintf(w, "simserve_hot_log_bytes{tracker=%q} %d\n", name, snap.HotLogBytes)
+		fmt.Fprintf(w, "simserve_cold_log_bytes{tracker=%q} %d\n", name, snap.ColdLogBytes)
+		fmt.Fprintf(w, "simserve_cold_segments{tracker=%q} %d\n", name, snap.ColdSegments)
+		fmt.Fprintf(w, "simserve_spills_total{tracker=%q} %d\n", name, snap.Spills)
+		fmt.Fprintf(w, "simserve_cold_faults_total{tracker=%q} %d\n", name, snap.ColdFaults)
 	}
 }

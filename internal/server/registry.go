@@ -154,8 +154,11 @@ type Tracked struct {
 // newTracked builds the tracker for spec and starts its ingest loop. A
 // non-empty dataDir makes the tracker durable: its state is recovered from
 // dataDir (snapshot + WAL replay) and every subsequent batch is logged
-// before it is applied. fs/clock are the environment seam (nil = real).
-func newTracked(name string, spec api.Spec, dataDir string, fs fault.FS, clock fault.Clock) (*Tracked, error) {
+// before it is applied. A non-empty spillDir attaches the cold tier there
+// (see sim.Config.SpillDir); cold segments referenced by the recovered
+// snapshot are mapped from it instead of replayed. fs/clock are the
+// environment seam (nil = real).
+func newTracked(name string, spec api.Spec, dataDir, spillDir string, fs fault.FS, clock fault.Clock) (*Tracked, error) {
 	var (
 		tr    *sim.Tracker
 		dur   *durability
@@ -166,13 +169,31 @@ func newTracked(name string, spec api.Spec, dataDir string, fs fault.FS, clock f
 	if spec.Names {
 		names = intern.New(spec.ExpectedUsers)
 	}
+	cfg := spec.Config()
+	cfg.MemoryBudgetBytes = spec.MemoryBudgetBytes
+	if spillDir != "" {
+		cfg.SpillDir = spillDir
+		if fs != nil {
+			cfg.SpillFS = fs
+		}
+	}
 	if dataDir != "" {
-		tr, dur, info, err = recoverTracker(fs, clock, dataDir, spec.Config(), spec.SnapshotWALBytes, names)
+		tr, dur, info, err = recoverTracker(fs, clock, dataDir, cfg, spec.SnapshotWALBytes, names)
 	} else {
-		tr, err = sim.New(spec.Config())
+		tr, err = sim.New(cfg)
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Boot GC: recovery re-adopted exactly the segments the snapshot (plus
+	// WAL-replay respills) references; anything else in the spill dir is a
+	// stray from a pre-crash spill that never made a snapshot. Runs before
+	// the loop starts, so the single-writer rule holds.
+	if spillDir != "" {
+		if _, gerr := tr.GC(); gerr != nil {
+			tr.Close()
+			return nil, fmt.Errorf("server: collecting stray cold segments: %w", gerr)
+		}
 	}
 	queue := spec.Queue
 	if queue <= 0 {
@@ -286,7 +307,9 @@ func (t *Tracked) loop() {
 				// replay entirely. Still on the loop goroutine, so t.tr is
 				// safe to serialize.
 				if t.dur != nil {
-					t.dur.maybeSnapshot(t.tr, true)
+					if t.dur.maybeSnapshot(t.tr, true) {
+						t.gcCold()
+					}
 					t.dur.close()
 				}
 				return
@@ -332,8 +355,11 @@ func (t *Tracked) apply(c command) {
 				// rollback could not remove: flip to degraded-readonly; the
 				// probe takes it from here.
 				t.state.Store(int32(StateDegradedReadOnly))
-			} else {
-				t.dur.maybeSnapshot(t.tr, false)
+			} else if t.dur.maybeSnapshot(t.tr, false) {
+				// The fresh on-disk snapshot's segment manifest now matches
+				// the in-memory extents exactly, so cold segments no longer
+				// referenced are unreachable from any recovery — collect them.
+				t.gcCold()
 			}
 		}
 	case c.query != nil:
@@ -358,9 +384,19 @@ func (t *Tracked) tryRearm() {
 	t.state.Store(int32(StateRecovering))
 	if t.dur.rearm(t.tr) {
 		t.state.Store(int32(StateOK))
+		t.gcCold() // the re-arm snapshot covers the live extents
 		return
 	}
 	t.state.Store(int32(StateDegradedReadOnly))
+}
+
+// gcCold collects unreferenced cold segment files after a successful
+// snapshot, on the loop goroutine. Failure is benign — the files are
+// retried by the next snapshot's GC — so it is logged via the durability
+// error channel only implicitly (not at all): a stray file costs disk,
+// never correctness.
+func (t *Tracked) gcCold() {
+	_, _ = t.tr.GC()
 }
 
 // publish refreshes the shared read snapshot, rotating the old one into
@@ -503,12 +539,13 @@ func (t *Tracked) Close() error {
 
 // Registry is the set of named trackers a server instance owns.
 type Registry struct {
-	mu       sync.RWMutex
-	trackers map[string]*Tracked
-	refused  map[string]string
-	dataDir  string
-	fs       fault.FS
-	clock    fault.Clock
+	mu        sync.RWMutex
+	trackers  map[string]*Tracked
+	refused   map[string]string
+	dataDir   string
+	spillBase string
+	fs        fault.FS
+	clock     fault.Clock
 }
 
 // NewRegistry returns an empty registry.
@@ -590,6 +627,16 @@ func (r *Registry) DataDir() string {
 	return r.dataDir
 }
 
+// SetSpillDir sets the cold-tier root for trackers added afterwards: each
+// gets <dir>/<name>/ for its spilled segment files. Without it, durable
+// trackers spill under <data dir>/<name>/spill and memory-only trackers
+// cannot take a memory budget. Call before Add.
+func (r *Registry) SetSpillDir(dir string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spillBase = dir
+}
+
 // Add builds the tracker described by spec, registers it under name and
 // starts its ingest loop. On a durable registry (SetDataDir) the tracker
 // first recovers its state from disk.
@@ -602,15 +649,26 @@ func (r *Registry) Add(name string, spec api.Spec) (*Tracked, error) {
 	if _, ok := r.trackers[name]; ok {
 		return nil, fmt.Errorf("server: tracker %q already exists", name)
 	}
-	dir := ""
-	if r.dataDir != "" {
+	dir, spillDir := "", ""
+	if r.dataDir != "" || r.spillBase != "" {
 		// The name becomes a directory component; keep it one.
 		if strings.ContainsAny(name, `/\`) || name == "." || name == ".." {
 			return nil, fmt.Errorf("server: tracker name %q is not usable as a data directory", name)
 		}
+	}
+	if r.dataDir != "" {
 		dir = filepath.Join(r.dataDir, name)
 	}
-	t, err := newTracked(name, spec, dir, r.fs, r.clock)
+	switch {
+	case r.spillBase != "":
+		spillDir = filepath.Join(r.spillBase, name)
+	case dir != "":
+		// Durable trackers always get a cold tier next to their WAL: even
+		// without a budget it is what re-adopts cold segments referenced by
+		// a snapshot taken under one (the budget is a runtime knob).
+		spillDir = filepath.Join(dir, "spill")
+	}
+	t, err := newTracked(name, spec, dir, spillDir, r.fs, r.clock)
 	if err != nil {
 		return nil, fmt.Errorf("server: tracker %q: %w", name, err)
 	}

@@ -115,6 +115,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	names := s.reg.Names()
 	var degraded map[string]string
 	var states map[string]string
+	var memory map[string]api.TrackerMemory
 	for _, n := range names {
 		t, ok := s.reg.Get(n)
 		if !ok {
@@ -132,6 +133,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			}
 			states[n] = st.String()
 		}
+		// Report memory facts for trackers running a tiered window (spills
+		// observed or cold state held) so a probe can watch residency.
+		if snap := t.Snapshot(); snap.Spills > 0 || snap.ColdSegments > 0 || snap.ColdUsers > 0 {
+			if memory == nil {
+				memory = make(map[string]api.TrackerMemory)
+			}
+			memory[n] = api.TrackerMemory{
+				ResidentBytes: snap.ResidentBytes,
+				ColdSegments:  snap.ColdSegments,
+				ColdFaults:    snap.ColdFaults,
+			}
+		}
 	}
 	refused := s.reg.Refused()
 	status := "ok"
@@ -148,6 +161,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Degraded:      degraded,
 		States:        states,
 		Refused:       refused,
+		Memory:        memory,
 	})
 }
 
@@ -162,7 +176,8 @@ func (s *Server) handleTrackerMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	retries, rearms, shed, highWater := t.Counters()
 	depth, capacity := t.QueueDepth()
-	writeJSON(w, http.StatusOK, api.TrackerMetricsResponse{
+	snap := t.Snapshot()
+	resp := api.TrackerMetricsResponse{
 		State:               t.State().String(),
 		SnapshotRetries:     retries,
 		WALRearms:           rearms,
@@ -171,7 +186,21 @@ func (s *Server) handleTrackerMetrics(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:          depth,
 		QueueCapacity:       capacity,
 		DurabilityError:     t.DurabilityError(),
-	})
+		ResidentBytes:       snap.ResidentBytes,
+		HotLogBytes:         snap.HotLogBytes,
+		ColdLogBytes:        snap.ColdLogBytes,
+		ColdUsers:           snap.ColdUsers,
+		ColdSegments:        snap.ColdSegments,
+		Spills:              snap.Spills,
+		ColdFaults:          snap.ColdFaults,
+	}
+	if info, durable := t.Recovery(); durable {
+		resp.RecoveredSnapshot = info.SnapshotLoaded
+		resp.RecoveredSnapshotProcessed = info.SnapshotProcessed
+		resp.RecoveredWALBatches = info.WALBatches
+		resp.RecoveredWALActions = info.WALActions
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ServeHTTP dispatches to the v1 API.

@@ -9,8 +9,11 @@ import (
 )
 
 // streamPayloadVersion versions the Save payload independently of the SIM2
-// container that carries it.
-const streamPayloadVersion = 1
+// container that carries it. Version 2 appends the cold tier: the per-user
+// segment-extent table and a manifest of the referenced segments (ID, CRC,
+// size) that Restore verifies against the attached ColdStore. Version 1
+// payloads (no cold tier) are still accepted.
+const streamPayloadVersion = 2
 
 // Save serializes the stream's complete mutable state — the diffusion index
 // (with reference counts), the per-user contribution logs, the retained
@@ -91,18 +94,63 @@ func (s *Stream) Save(w io.Writer) error {
 		ww.Uvarint(uint64(u) - prev)
 		prev = uint64(u)
 	}
+
+	// Cold tier (v2): the extent table references segments by ID instead of
+	// embedding their entries, so snapshot size and save time scale with the
+	// HOT state only — the segments themselves are already durable files.
+	// Spilled logs are never faulted in by Save.
+	coldUsers := make([]UserID, 0, len(s.cold))
+	for u := range s.cold {
+		coldUsers = append(coldUsers, u)
+	}
+	sort.Slice(coldUsers, func(i, j int) bool { return coldUsers[i] < coldUsers[j] })
+	ww.Uvarint(uint64(len(coldUsers)))
+	segSet := map[SegmentID]struct{}{}
+	for _, u := range coldUsers {
+		ext := s.cold[u]
+		ww.Uvarint(uint64(u))
+		ww.Uvarint(uint64(ext.Seg))
+		ww.Varint(ext.Off)
+		ww.Uvarint(uint64(ext.Count))
+		ww.Varint(int64(ext.MaxT))
+		segSet[ext.Seg] = struct{}{}
+	}
+	// Manifest of the referenced segments, sorted by ID: Restore re-adopts
+	// exactly these files and verifies their identity before trusting them.
+	segs := make([]SegmentID, 0, len(segSet))
+	for seg := range segSet {
+		segs = append(segs, seg)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	ww.Uvarint(uint64(len(segs)))
+	for _, seg := range segs {
+		st, err := s.store.Stat(seg)
+		if err != nil {
+			return fmt.Errorf("stream: saving segment manifest: %w", err)
+		}
+		ww.Uvarint(uint64(seg))
+		ww.Uvarint(uint64(st.CRC))
+		ww.Varint(st.Size)
+	}
 	return ww.Err()
 }
 
 // Restore deserializes a stream saved by Save. The returned stream is fully
-// independent of the reader's backing storage and behaves bit-identically
-// to the saved one.
-func Restore(r io.Reader) (*Stream, error) {
+// independent of the reader's backing storage except for the cold tier: a
+// version-2 payload with cold extents re-adopts the referenced segment
+// files from store (verifying each segment's CRC and size against the
+// saved manifest) instead of rehydrating their entries — the boot-time
+// mapping that keeps restart cost proportional to hot state. store and
+// budget are attached to the restored stream either way (see SetCold); a
+// payload with cold extents but a nil store is an error.
+func Restore(r io.Reader, store ColdStore, budget int64) (*Stream, error) {
 	rr := wire.NewReader(r)
-	if v := rr.Uvarint(); rr.Err() == nil && v != streamPayloadVersion {
-		return nil, fmt.Errorf("stream: unsupported payload version %d", v)
+	version := rr.Uvarint()
+	if rr.Err() == nil && (version < 1 || version > streamPayloadVersion) {
+		return nil, fmt.Errorf("stream: unsupported payload version %d", version)
 	}
 	s := New()
+	s.SetCold(store, budget)
 	s.horizon = ActionID(rr.Varint())
 	s.last = ActionID(rr.Varint())
 
@@ -144,6 +192,7 @@ func Restore(r io.Reader) (*Stream, error) {
 			})
 		}
 		s.logs[u] = l
+		s.hotBytes += int64(len(l.list)) * contribBytes
 	}
 
 	s.totalActions = rr.Varint()
@@ -156,6 +205,52 @@ func Restore(r io.Reader) (*Stream, error) {
 	for i := 0; i < nUsers && rr.Err() == nil; i++ {
 		prev += rr.Uvarint()
 		s.userSet[UserID(prev)] = struct{}{}
+	}
+
+	if version >= 2 {
+		nCold := rr.Len(wire.MaxLen)
+		if nCold > 0 && store == nil {
+			return nil, fmt.Errorf("stream: payload references %d cold extents but no cold store is configured", nCold)
+		}
+		if nCold > 0 {
+			s.cold = make(map[UserID]Extent, min(nCold, 1<<20))
+		}
+		for i := 0; i < nCold && rr.Err() == nil; i++ {
+			u := UserID(rr.Uvarint())
+			ext := Extent{
+				Seg:   SegmentID(rr.Uvarint()),
+				Off:   rr.Varint(),
+				Count: int(rr.Uvarint()),
+				MaxT:  ActionID(rr.Varint()),
+			}
+			if rr.Err() != nil {
+				break
+			}
+			// Re-adopt the extent: one store reference per extent, exactly
+			// mirroring what WriteLogs handed out at spill time.
+			if err := store.Retain(ext.Seg); err != nil {
+				return nil, fmt.Errorf("stream: restoring cold extent for user %d: %w", u, err)
+			}
+			s.cold[u] = ext
+			s.coldBytes += int64(ext.Count) * contribBytes
+		}
+		nSegs := rr.Len(wire.MaxLen)
+		for i := 0; i < nSegs && rr.Err() == nil; i++ {
+			seg := SegmentID(rr.Uvarint())
+			crc := uint32(rr.Uvarint())
+			size := rr.Varint()
+			if rr.Err() != nil {
+				break
+			}
+			st, err := store.Stat(seg)
+			if err != nil {
+				return nil, fmt.Errorf("stream: verifying segment %d: %w", seg, err)
+			}
+			if st.CRC != crc || st.Size != size {
+				return nil, fmt.Errorf("stream: segment %d does not match manifest (crc %08x/%08x, size %d/%d)",
+					seg, st.CRC, crc, st.Size, size)
+			}
+		}
 	}
 	if err := rr.Err(); err != nil {
 		return nil, fmt.Errorf("stream: restoring: %w", err)

@@ -45,7 +45,7 @@ func TestSaveRestoreRoundTrip(t *testing.T) {
 	if err := s.Save(&buf); err != nil {
 		t.Fatalf("Save: %v", err)
 	}
-	r, err := Restore(bytes.NewReader(buf.Bytes()))
+	r, err := Restore(bytes.NewReader(buf.Bytes()), nil, 0)
 	if err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
@@ -110,7 +110,7 @@ func TestRestoreEmptyStream(t *testing.T) {
 	if err := New().Save(&buf); err != nil {
 		t.Fatalf("Save: %v", err)
 	}
-	r, err := Restore(bytes.NewReader(buf.Bytes()))
+	r, err := Restore(bytes.NewReader(buf.Bytes()), nil, 0)
 	if err != nil {
 		t.Fatalf("Restore: %v", err)
 	}
@@ -130,7 +130,7 @@ func TestRestoreTruncated(t *testing.T) {
 		t.Fatalf("Save: %v", err)
 	}
 	b := buf.Bytes()
-	if _, err := Restore(bytes.NewReader(b[:len(b)/2])); err == nil {
+	if _, err := Restore(bytes.NewReader(b[:len(b)/2]), nil, 0); err == nil {
 		t.Fatal("Restore of truncated payload succeeded")
 	}
 }

@@ -130,6 +130,20 @@ type Stream struct {
 	totalRespDist int64
 	respActions   int64
 	userSet       map[UserID]struct{}
+
+	// Cold tier (see cold.go): per-user extents of spilled logs, the
+	// segment store behind them, and the hot-tier budget that drives
+	// spilling. A nil store disables the tier entirely; the hot path only
+	// pays a nil-map check.
+	cold      map[UserID]Extent
+	store     ColdStore
+	budget    int64
+	hotBytes  int64 // resident log-entry bytes (contribBytes per hot entry)
+	coldBytes int64 // on-disk log-entry bytes across live extents
+	tier      TierStats
+	coldErr   error
+	readBuf   []Contrib // scratch for cold-extent decodes (logPrefix, spill folds)
+	mergeBuf  []Contrib // scratch for merged both-tier views (logPrefix)
 }
 
 // logChunkSize is the arena block size for userLog headers.
@@ -234,6 +248,11 @@ func (s *Stream) ingest(a Action, arena []UserID) ([]UserID, int, error) {
 		pid = p.parent
 	}
 	for _, u := range arena[base:] {
+		// A spilled contributor grows a fresh hot log in front of its cold
+		// extent — ingest never reads the cold tier. The hot residue dedups
+		// within itself via touch; a contributor also present in the extent
+		// leaves a stale cold copy behind, which queries (logPrefix) and
+		// re-spills (maybeSpill) drop during their merge.
 		l := s.logs[u]
 		if l == nil {
 			if len(s.logChunk) == 0 {
@@ -243,7 +262,11 @@ func (s *Stream) ingest(a Action, arena []UserID) ([]UserID, int, error) {
 			s.logChunk = s.logChunk[1:]
 			s.logs[u] = l
 		}
+		n0 := len(l.list)
 		l.touch(a.User, a.ID)
+		if len(l.list) != n0 {
+			s.hotBytes += contribBytes
+		}
 	}
 
 	s.totalActions++
@@ -265,6 +288,12 @@ func (s *Stream) ingest(a Action, arena []UserID) ([]UserID, int, error) {
 // because SIC retains one expired checkpoint Λ[x0] (paper Algorithm 2).
 func (s *Stream) Advance(horizon ActionID) {
 	if horizon <= s.horizon {
+		// The horizon may sit still for long stretches (SIC holds it at the
+		// retained expired checkpoint's start), but the budget check must
+		// still run: ingest grows the hot tier between horizon movements.
+		// When under budget this is a single comparison; when over, the
+		// watermark hysteresis in maybeSpill amortizes the spill I/O.
+		s.maybeSpill()
 		return
 	}
 	s.horizon = horizon
@@ -277,7 +306,9 @@ func (s *Stream) Advance(horizon ActionID) {
 		s.expireBuf = s.Contributors(id, s.expireBuf[:0])
 		for _, u := range s.expireBuf {
 			if l := s.logs[u]; l != nil {
+				n0 := len(l.list)
 				l.prune(horizon)
+				s.hotBytes -= int64(n0-len(l.list)) * contribBytes
 				if len(l.list) == 0 {
 					// Release the backing array explicitly: the header
 					// lives in a logChunk arena that stays reachable while
@@ -286,6 +317,12 @@ func (s *Stream) Advance(horizon ActionID) {
 					l.list = nil
 					delete(s.logs, u)
 				}
+			}
+			if s.cold != nil {
+				// A cold extent whose newest entry just expired is dropped
+				// without ever reading it; partially stale extents are
+				// pruned lazily at fault-in.
+				s.dropDeadExtent(u)
 			}
 		}
 		s.release(id)
@@ -296,6 +333,9 @@ func (s *Stream) Advance(horizon ActionID) {
 		s.window = s.window[:n]
 		s.wstart = 0
 	}
+	// Spilling happens only here, at the expiry boundary: the per-action
+	// ingest path never performs I/O.
+	s.maybeSpill()
 }
 
 // release drops the liveness reference of action id and collects any records
@@ -321,11 +361,8 @@ func (s *Stream) release(id ActionID) {
 // false. start values older than Horizon() are answered as if start ==
 // Horizon().
 func (s *Stream) Influence(u UserID, start ActionID, visit func(UserID) bool) {
-	l := s.logs[u]
-	if l == nil {
-		return
-	}
-	for _, c := range l.prefix(start) {
+	list, _ := s.logPrefix(u, start) // a failed cold read degrades to hot-only (sticky ColdErr)
+	for _, c := range list {
 		if !visit(c.V) {
 			return
 		}
@@ -339,13 +376,11 @@ func (s *Stream) Influence(u UserID, start ActionID, visit func(UserID) bool) {
 // influence set for ANY later start s' > s is a prefix of the returned list
 // (slice it with PrefixFor). The checkpoint frameworks exploit that: one
 // call per contributor serves every checkpoint. The returned slice aliases
-// internal state and is valid until the next Ingest or Advance call.
+// internal state (possibly reused scratch holding a merged hot/cold view)
+// and is valid until the next influence query, Ingest, or Advance call.
 func (s *Stream) InfluenceRecency(u UserID, start ActionID) []Contrib {
-	l := s.logs[u]
-	if l == nil {
-		return nil
-	}
-	return l.prefix(start)
+	list, _ := s.logPrefix(u, start) // a failed cold read degrades to hot-only (sticky ColdErr)
+	return list
 }
 
 // PrefixFor returns the prefix of a descending-time Contrib list whose
@@ -382,6 +417,24 @@ func (s *Stream) Influencers(start ActionID, visit func(UserID) bool) {
 			if !visit(u) {
 				return
 			}
+		}
+	}
+	// Cold extents answer membership from their cached newest entry time —
+	// no I/O. A live extent always has MaxT >= horizon (fully expired ones
+	// are dropped by Advance), so MaxT >= start is exactly "non-empty
+	// influence set for this suffix".
+	for u, ext := range s.cold {
+		if ext.MaxT < start {
+			continue
+		}
+		if _, hot := s.logs[u]; hot {
+			// Both-tier user (re-touched after its spill): already visited
+			// above — the hot entries are strictly newer than MaxT, so its
+			// hot prefix was non-empty too.
+			continue
+		}
+		if !visit(u) {
+			return
 		}
 	}
 }
@@ -447,15 +500,31 @@ func (s *Stream) Stats() Stats {
 	return st
 }
 
-// RetainedBytesEstimate is a rough accounting of live index size, used by
-// memory-focused benchmarks and the ablation comparing shared logs against
-// per-checkpoint influence sets.
+// RetainedBytesEstimate is a rough accounting of RESIDENT live index size
+// — what the stream actually holds in RAM, excluding spilled cold-tier
+// entries — used by memory-focused benchmarks and the ablation comparing
+// shared logs against per-checkpoint influence sets. Per-entry constants
+// fold in map bucket overhead; log entries are counted at capacity (the
+// bytes actually pinned), a Contrib being 16 bytes with alignment padding.
 func (s *Stream) RetainedBytesEstimate() int64 {
+	const (
+		idxEntry  = 48 // 8B key + 8B pointer + 16B record + bucket overhead
+		logsEntry = 40 // 4B key + 8B pointer + 24B arena-held header + bucket overhead
+		seenEntry = 24 // 4B key + 8B generation + bucket overhead
+		userEntry = 16 // 4B key + bucket overhead
+		coldEntry = 56 // 4B key + 32B extent + bucket overhead
+		headerSz  = 24 // one userLog header still unhanded in the arena block
+	)
 	var b int64
-	b += int64(len(s.idx)) * 24
+	b += int64(len(s.idx)) * idxEntry
+	b += int64(len(s.logs)) * logsEntry
 	for _, l := range s.logs {
-		b += int64(cap(l.list)) * 12
+		b += int64(cap(l.list)) * contribBytes
 	}
+	b += int64(len(s.logChunk)) * headerSz
+	b += int64(len(s.seen)) * seenEntry
+	b += int64(len(s.userSet)) * userEntry
+	b += int64(len(s.cold)) * coldEntry
 	b += int64(cap(s.window)) * 24
 	return b
 }

@@ -48,6 +48,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dataio"
+	"repro/internal/fault"
 	"repro/internal/oracle"
 	"repro/internal/pool"
 	"repro/internal/stream"
@@ -276,6 +278,27 @@ type Config struct {
 	// initial window fill. Purely a capacity hint: results and limits are
 	// unaffected. 0 (the default) grows incrementally, the legacy behavior.
 	ExpectedUsers int
+	// SpillDir, when non-empty, attaches a cold tier to the stream index:
+	// whenever the resident contribution-log bytes exceed
+	// MemoryBudgetBytes, the longest-idle users' logs are spilled to
+	// immutable segment files under this directory at the window's expiry
+	// boundary and faulted back in on demand. Results are bit-identical
+	// with or without spilling; only memory residency and I/O change. The
+	// directory is created if missing and must be private to this tracker.
+	// Trackers with a SpillDir own an open segment store; release it with
+	// Close.
+	SpillDir string
+	// MemoryBudgetBytes is the resident hot-log byte budget that triggers
+	// spilling. 0 (the default) never spills — the tier stays attached for
+	// recovery of snapshots that reference cold segments, but no new
+	// segments are written. Setting a budget without a SpillDir is an
+	// error. Like Parallelism, this is a runtime knob: it may differ
+	// freely between a saving and a restoring tracker.
+	MemoryBudgetBytes int64
+	// SpillFS routes the cold tier's filesystem operations, defaulting to
+	// the real filesystem. The serving layer passes its fault-injectable
+	// FS here so chaos tests cover the spill path.
+	SpillFS fault.FS
 }
 
 // Tracker continuously answers one SIM query. It is not safe for concurrent
@@ -286,7 +309,8 @@ type Tracker struct {
 	filter   func(Action) bool
 	orc      Oracle
 	pool     *pool.Pool
-	weighted bool // non-nil Weights at construction; echoed into snapshots
+	store    *dataio.SegmentStore // cold tier; nil without Config.SpillDir
+	weighted bool                 // non-nil Weights at construction; echoed into snapshots
 
 	batchSize int
 	batch     []Action
@@ -318,20 +342,44 @@ func New(cfg Config) (*Tracker, error) {
 	if cfg.ExpectedUsers < 0 {
 		return nil, fmt.Errorf("sim: ExpectedUsers must be >= 0, got %d", cfg.ExpectedUsers)
 	}
+	if cfg.MemoryBudgetBytes < 0 {
+		return nil, fmt.Errorf("sim: MemoryBudgetBytes must be >= 0, got %d", cfg.MemoryBudgetBytes)
+	}
+	if cfg.MemoryBudgetBytes > 0 && cfg.SpillDir == "" {
+		return nil, fmt.Errorf("sim: MemoryBudgetBytes requires a SpillDir")
+	}
+	var store *dataio.SegmentStore
+	var cold stream.ColdStore
+	if cfg.SpillDir != "" {
+		fs := cfg.SpillFS
+		if fs == nil {
+			fs = fault.OS()
+		}
+		st, err := dataio.OpenSegmentStore(fs, cfg.SpillDir)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		store, cold = st, st
+	}
 	p := pool.New(par)
 	fw, err := core.New(core.Config{
-		K:         cfg.K,
-		N:         cfg.WindowSize,
-		L:         cfg.Slide,
-		Beta:      cfg.Beta,
-		Oracle:    oracle.NewFactory(cfg.Oracle.kind(), cfg.Beta, cfg.Weights),
-		Sparse:    cfg.Framework == SIC,
-		ByTime:    cfg.TimeBased,
-		Pool:      p,
-		UsersHint: cfg.ExpectedUsers,
+		K:          cfg.K,
+		N:          cfg.WindowSize,
+		L:          cfg.Slide,
+		Beta:       cfg.Beta,
+		Oracle:     oracle.NewFactory(cfg.Oracle.kind(), cfg.Beta, cfg.Weights),
+		Sparse:     cfg.Framework == SIC,
+		ByTime:     cfg.TimeBased,
+		Pool:       p,
+		UsersHint:  cfg.ExpectedUsers,
+		Cold:       cold,
+		ColdBudget: cfg.MemoryBudgetBytes,
 	})
 	if err != nil {
 		p.Close()
+		if store != nil {
+			store.Close()
+		}
 		return nil, err
 	}
 	bs := cfg.BatchSize
@@ -339,7 +387,7 @@ func New(cfg Config) (*Tracker, error) {
 		bs = 1
 	}
 	return &Tracker{
-		fw: fw, filter: cfg.Filter, orc: cfg.Oracle, pool: p,
+		fw: fw, filter: cfg.Filter, orc: cfg.Oracle, pool: p, store: store,
 		weighted: cfg.Weights != nil, batchSize: bs, lastID: -1,
 	}, nil
 }
@@ -409,13 +457,33 @@ func (t *Tracker) flushed() *core.Framework {
 }
 
 // Close releases the tracker's worker goroutines (a no-op for serial
-// trackers) and flushes any buffered actions. The tracker remains queryable
-// after Close, but further Process calls on a Parallelism > 1 tracker will
-// panic; it is safe to omit Close for process-lifetime trackers.
+// trackers) and the cold tier's segment store (a no-op without a SpillDir),
+// and flushes any buffered actions. The tracker remains queryable after
+// Close as long as nothing needs a cold read, but further Process calls on
+// a Parallelism > 1 tracker will panic; it is safe to omit Close for
+// process-lifetime trackers on a default configuration.
 func (t *Tracker) Close() error {
 	err := t.Flush()
 	t.pool.Close()
+	if t.store != nil {
+		if cerr := t.store.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
+}
+
+// GC deletes cold segment files that no live extent references. Call it
+// only when no snapshot you still intend to Load references those segments
+// — for SaveTo users that means right after writing (and fsyncing) a new
+// snapshot, which re-manifests exactly the live extents. The serving layer
+// does this automatically after each published snapshot. Without a
+// SpillDir it is a no-op.
+func (t *Tracker) GC() (removed int, err error) {
+	if t.store == nil {
+		return 0, nil
+	}
+	return t.store.GC()
 }
 
 // Seeds returns the current solution: at most K users who (approximately)
@@ -556,6 +624,23 @@ type Snapshot struct {
 	ElementsFed        int64   `json:"elements_fed"`
 	CheckpointsCreated int64   `json:"checkpoints_created"`
 	CheckpointsDeleted int64   `json:"checkpoints_deleted"`
+	// Tiered window state (memory accounting). ResidentBytes estimates the
+	// stream index's total resident footprint; HotLogBytes and ColdLogBytes
+	// split the contribution-log entries into the in-memory and the
+	// spilled-to-segment share. ColdUsers / ColdSegments describe the cold
+	// tier's current extent ("how much of the window lives on disk");
+	// Spills counts spill passes and ColdFaults counts cold-segment reads
+	// (queries merging spilled entries into an answer — reads never move a
+	// log back to RAM) since the tracker started — the observability
+	// surface of simserve's memory-budget mode. All zero on trackers
+	// without a SpillDir.
+	ResidentBytes int64 `json:"resident_bytes"`
+	HotLogBytes   int64 `json:"hot_log_bytes"`
+	ColdLogBytes  int64 `json:"cold_log_bytes"`
+	ColdUsers     int   `json:"cold_users"`
+	ColdSegments  int   `json:"cold_segments"`
+	Spills        int64 `json:"spills"`
+	ColdFaults    int64 `json:"cold_faults"`
 }
 
 // Stats returns the snapshot's counters as a Stats value. Defined here, next
@@ -598,6 +683,11 @@ func (t *Tracker) Snapshot() Snapshot {
 		}
 		infl = append(infl, SeedInfluence{User: u, Influenced: set})
 	}
+	ts := st.TierStats()
+	coldSegs := 0
+	if t.store != nil {
+		coldSegs = t.store.LiveSegments()
+	}
 	return Snapshot{
 		Framework:          fwk,
 		Oracle:             t.orc,
@@ -613,6 +703,13 @@ func (t *Tracker) Snapshot() Snapshot {
 		ElementsFed:        fs.ElementsFed,
 		CheckpointsCreated: fs.Created,
 		CheckpointsDeleted: fs.Deleted,
+		ResidentBytes:      st.RetainedBytesEstimate(),
+		HotLogBytes:        ts.HotLogBytes,
+		ColdLogBytes:       ts.ColdLogBytes,
+		ColdUsers:          ts.ColdUsers,
+		ColdSegments:       coldSegs,
+		Spills:             ts.Spills,
+		ColdFaults:         ts.ColdFaults,
 	}
 }
 

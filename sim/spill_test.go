@@ -1,0 +1,180 @@
+package sim_test
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/sim"
+)
+
+// spillBudget is tight enough (256 log entries) that every identity dataset
+// spills many times over a 700-action window, exercising spill, fault-in
+// and re-spill continuously.
+const spillBudget = 4096
+
+// TestSpillIdentity is the tentpole invariant of the tiered window state:
+// for every dataset shape, both frameworks and both window modes, a tracker
+// running under a tight memory budget (spilling and faulting cold segments
+// throughout) produces identical Seeds(), Value() and CheckpointStarts()
+// to an unbudgeted tracker at every slide boundary. Run under -race in CI.
+func TestSpillIdentity(t *testing.T) {
+	const (
+		window = 700
+		slide  = 50
+		k      = 6
+	)
+	for _, ds := range identityDatasets() {
+		for _, fw := range []sim.Framework{sim.SIC, sim.IC} {
+			for _, byTime := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%v/byTime=%v", ds.name, fw, byTime)
+				t.Run(name, func(t *testing.T) {
+					base := sim.Config{
+						K: k, WindowSize: window, Slide: slide, Beta: 0.1,
+						Framework: fw, TimeBased: byTime,
+					}
+					ref, err := sim.New(base)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer ref.Close()
+					budgeted := base
+					budgeted.SpillDir = t.TempDir()
+					budgeted.MemoryBudgetBytes = spillBudget
+					tr, err := sim.New(budgeted)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer tr.Close()
+
+					for i, a := range ds.actions {
+						if err := ref.Process(a); err != nil {
+							t.Fatal(err)
+						}
+						if err := tr.Process(a); err != nil {
+							t.Fatal(err)
+						}
+						if (i+1)%slide != 0 {
+							continue
+						}
+						if v, rv := tr.Value(), ref.Value(); v != rv {
+							t.Fatalf("action %d: budgeted value %v != unbudgeted %v", i+1, v, rv)
+						}
+						if s, rs := tr.Seeds(), ref.Seeds(); !reflect.DeepEqual(s, rs) {
+							t.Fatalf("action %d: budgeted seeds %v != unbudgeted %v", i+1, s, rs)
+						}
+						if c, rc := tr.CheckpointStarts(), ref.CheckpointStarts(); !reflect.DeepEqual(c, rc) {
+							t.Fatalf("action %d: budgeted checkpoints %v != unbudgeted %v", i+1, c, rc)
+						}
+					}
+					snap := tr.Snapshot()
+					if snap.Spills == 0 {
+						t.Fatalf("budget %d never spilled (hot=%d): the test exercised nothing", spillBudget, snap.HotLogBytes)
+					}
+					if refSnap := ref.Snapshot(); refSnap.Spills != 0 || refSnap.ColdSegments != 0 {
+						t.Fatalf("unbudgeted tracker touched the cold tier: %+v", refSnap)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSpillSnapshotRoundTrip proves the segment-mapped recovery contract:
+// a mid-stream SaveTo taken while cold extents are live references segments
+// by ID (no rehydration), and a tracker Loaded from it — re-adopting those
+// segment files — continues the stream with answers identical to the
+// uninterrupted original at every slide boundary.
+func TestSpillSnapshotRoundTrip(t *testing.T) {
+	const (
+		window = 700
+		slide  = 50
+		k      = 6
+		cut    = 1300
+	)
+	ds := identityDatasets()[2] // SYN-O
+	dir := t.TempDir()
+	cfg := sim.Config{
+		K: k, WindowSize: window, Slide: slide, Beta: 0.1,
+		SpillDir: filepath.Join(dir, "a"), MemoryBudgetBytes: spillBudget,
+	}
+	tr, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ProcessAll(ds.actions[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	if snap := tr.Snapshot(); snap.ColdUsers == 0 {
+		t.Fatalf("no cold extents at the cut; snapshot would not exercise the segment manifest (%+v)", snap)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the original to the end, recording every boundary answer.
+	type answer struct {
+		value  float64
+		seeds  []sim.UserID
+		starts []sim.ActionID
+	}
+	var want []answer
+	for i, a := range ds.actions[cut:] {
+		if err := tr.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if (cut+i+1)%slide == 0 {
+			want = append(want, answer{
+				value:  tr.Value(),
+				seeds:  append([]sim.UserID(nil), tr.Seeds()...),
+				starts: tr.CheckpointStarts(),
+			})
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored tracker shares the segment files but uses its own spill
+	// directory config — same path, fresh store — exactly like a reboot.
+	restored, err := sim.Load(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if got := restored.Snapshot(); got.ColdUsers == 0 {
+		t.Fatalf("restored tracker has no cold extents; recovery rehydrated instead of mapping (%+v)", got)
+	}
+	wi := 0
+	for i, a := range ds.actions[cut:] {
+		if err := restored.Process(a); err != nil {
+			t.Fatal(err)
+		}
+		if (cut+i+1)%slide != 0 {
+			continue
+		}
+		w := want[wi]
+		wi++
+		if v := restored.Value(); v != w.value {
+			t.Fatalf("boundary %d: restored value %v != original %v", wi, v, w.value)
+		}
+		if s := restored.Seeds(); !reflect.DeepEqual(s, w.seeds) {
+			t.Fatalf("boundary %d: restored seeds %v != original %v", wi, s, w.seeds)
+		}
+		if c := restored.CheckpointStarts(); !reflect.DeepEqual(c, w.starts) {
+			t.Fatalf("boundary %d: restored checkpoints %v != original %v", wi, c, w.starts)
+		}
+	}
+}
+
+// TestBudgetRequiresSpillDir pins the configuration guard.
+func TestBudgetRequiresSpillDir(t *testing.T) {
+	_, err := sim.New(sim.Config{K: 3, WindowSize: 100, MemoryBudgetBytes: 1 << 20})
+	if err == nil {
+		t.Fatal("MemoryBudgetBytes without SpillDir was accepted")
+	}
+}
